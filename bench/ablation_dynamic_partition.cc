@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dynamic TC/buffer partitioning (the paper's Section 5.1 future
+ * work): compare, at equal total storage, (a) the paper's split
+ * design at several static splits, (b) a unified way-partitioned
+ * cache at every static boundary, and (c) the unified cache with
+ * the adaptive hill-climbing controller. The paper observes that
+ * gcc prefers a small buffer and go a large one; the adaptive
+ * design should track each benchmark's preference without tuning.
+ */
+
+#include "bench_common.hh"
+#include "tproc/partition_sim.hh"
+
+using namespace tpre;
+
+int
+main()
+{
+    bench::banner(
+        "Dynamic partitioning of trace-cache vs preconstruction "
+        "storage (Section 5.1 extension)",
+        "gcc prefers mostly-cache, go prefers a bigger buffer; "
+        "the adaptive controller should match the best static "
+        "split per benchmark");
+
+    Simulator sim;
+    const InstCount insts = bench::runLength(1'500'000);
+    const std::size_t total = 512; // 32 KB combined
+
+    for (const char *name : {"gcc", "go", "vortex"}) {
+        TableReport table({"design", "misses/1000", "preconHits",
+                           "finalWays"});
+
+        // The paper's split design at the classic 50/50 split.
+        SimConfig split;
+        split.benchmark = name;
+        split.maxInsts = insts;
+        split.traceCacheEntries = total / 2;
+        split.preconBufferEntries = total / 2;
+        const SimResult s = sim.run(split);
+        table.addRow({"split 256TC+256PB",
+                      TableReport::num(s.missesPerKi, 2),
+                      TableReport::num(s.pbHits), "-"});
+
+        const GeneratedWorkload &wl = sim.workload(name, 7);
+        for (unsigned ways = 0; ways <= 2; ++ways) {
+            PartitionSimConfig cfg;
+            cfg.totalEntries = total;
+            cfg.preconWays = ways;
+            PartitionSim psim(wl.program, cfg);
+            const PartitionSimStats &r = psim.run(insts);
+            char label[48];
+            std::snprintf(label, sizeof(label),
+                          "unified static %u/4 ways", ways);
+            table.addRow({label,
+                          TableReport::num(r.missesPerKiloInst(),
+                                           2),
+                          TableReport::num(r.preconHits),
+                          TableReport::num(
+                              std::uint64_t(r.finalPreconWays))});
+        }
+
+        PartitionSimConfig adaptive;
+        adaptive.totalEntries = total;
+        adaptive.preconWays = 1;
+        adaptive.adaptive = true;
+        PartitionSim psim(wl.program, adaptive);
+        const PartitionSimStats &r = psim.run(insts);
+        table.addRow({"unified adaptive",
+                      TableReport::num(r.missesPerKiloInst(), 2),
+                      TableReport::num(r.preconHits),
+                      TableReport::num(
+                          std::uint64_t(r.finalPreconWays))});
+
+        std::printf("\n--- %s ---\n%s", name,
+                    table.render().c_str());
+    }
+    return 0;
+}

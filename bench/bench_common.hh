@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: run lengths and the
+ * standard header each binary prints.
+ */
+
+#ifndef TPRE_BENCH_BENCH_COMMON_HH
+#define TPRE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+
+namespace tpre::bench
+{
+
+/** Default per-run instruction budget (override via TPRE_INSTS). */
+inline InstCount
+runLength(InstCount fallback)
+{
+    if (const char *env = std::getenv("TPRE_INSTS"))
+        return static_cast<InstCount>(std::atoll(env));
+    return fallback;
+}
+
+inline void
+banner(const char *what, const char *paper_expectation)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s\n", what);
+    std::printf("Paper expectation: %s\n", paper_expectation);
+    std::printf("==============================================="
+                "=================\n");
+}
+
+} // namespace tpre::bench
+
+#endif // TPRE_BENCH_BENCH_COMMON_HH

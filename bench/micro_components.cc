@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Component micro-benchmarks (google-benchmark): throughput of the
+ * hot structures — trace cache lookup/insert, next-trace predictor
+ * predict/advance, bimodal prediction, trace selection, the
+ * functional core, and whole fast-mode simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/bimodal.hh"
+#include "bpred/next_trace.hh"
+#include "common/random.hh"
+#include "func/core.hh"
+#include "tproc/fast_sim.hh"
+#include "trace/fill_unit.hh"
+#include "trace/trace_cache.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace tpre;
+
+const GeneratedWorkload &
+gccWorkload()
+{
+    static GeneratedWorkload wl = [] {
+        WorkloadGenerator gen(specint95Profile("gcc"));
+        return gen.generate();
+    }();
+    return wl;
+}
+
+void
+BM_TraceCacheLookup(benchmark::State &state)
+{
+    TraceCache tc(512);
+    Rng rng(1);
+    std::vector<TraceId> ids;
+    for (int i = 0; i < 1024; ++i) {
+        Trace t;
+        t.id = {0x1000 + 4 * rng.nextBelow(4096),
+                static_cast<std::uint16_t>(rng.nextBelow(16)), 4};
+        Instruction alu;
+        alu.op = Opcode::Add;
+        t.insts.push_back({t.id.startPc, alu, false, 0});
+        ids.push_back(t.id);
+        tc.insert(std::move(t));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tc.lookup(ids[i & 1023]));
+        ++i;
+    }
+}
+BENCHMARK(BM_TraceCacheLookup);
+
+void
+BM_BimodalPredictUpdate(benchmark::State &state)
+{
+    BimodalPredictor bp;
+    Rng rng(2);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.predict(pc));
+        bp.update(pc, rng.nextBool(0.7));
+        pc = 0x1000 + 4 * rng.nextBelow(8192);
+    }
+}
+BENCHMARK(BM_BimodalPredictUpdate);
+
+void
+BM_NextTracePredictor(benchmark::State &state)
+{
+    NextTracePredictor ntp;
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ntp.predict());
+        TraceId id{0x1000 + 4 * rng.nextBelow(256),
+                   static_cast<std::uint16_t>(rng.nextBelow(8)),
+                   3};
+        ntp.advance(id, rng.nextBool(0.1), rng.nextBool(0.1));
+    }
+}
+BENCHMARK(BM_NextTracePredictor);
+
+void
+BM_FunctionalCore(benchmark::State &state)
+{
+    const GeneratedWorkload &wl = gccWorkload();
+    FunctionalCore core(wl.program);
+    for (auto _ : state) {
+        if (core.halted())
+            core.reset();
+        benchmark::DoNotOptimize(core.step());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalCore);
+
+void
+BM_FillUnitSegmentation(benchmark::State &state)
+{
+    const GeneratedWorkload &wl = gccWorkload();
+    FunctionalCore core(wl.program);
+    FillUnit fill;
+    for (auto _ : state) {
+        if (core.halted())
+            core.reset();
+        benchmark::DoNotOptimize(fill.feed(core.step()));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FillUnitSegmentation);
+
+void
+BM_FastSimWithPrecon(benchmark::State &state)
+{
+    const GeneratedWorkload &wl = gccWorkload();
+    for (auto _ : state) {
+        FastSimConfig cfg;
+        cfg.traceCacheEntries = 128;
+        cfg.preconEnabled = true;
+        cfg.precon.bufferEntries = 128;
+        FastSim sim(wl.program, cfg);
+        benchmark::DoNotOptimize(sim.run(100000));
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_FastSimWithPrecon)->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Predictor study: measure next-trace prediction accuracy over the
+ * canonical trace stream of a benchmark, comparing configurations
+ * — path-history depth, table sizes, and the Return History Stack
+ * (MICRO'97's enhancement) on and off.
+ *
+ * Usage: predictor_study [benchmark] [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bpred/next_trace.hh"
+#include "func/core.hh"
+#include "trace/fill_unit.hh"
+#include "workload/generator.hh"
+
+using namespace tpre;
+
+namespace
+{
+
+struct Accuracy
+{
+    std::uint64_t correct = 0;
+    std::uint64_t wrong = 0;
+    std::uint64_t none = 0;
+
+    double
+    rate() const
+    {
+        const auto total = correct + wrong + none;
+        return total ? 100.0 * static_cast<double>(correct) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+Accuracy
+measure(const Program &program, NtpConfig cfg, bool use_rhs,
+        InstCount insts)
+{
+    NextTracePredictor ntp(cfg);
+    FunctionalCore core(program);
+    FillUnit fill;
+    Accuracy acc;
+    bool have_last = false;
+    InstCount seen = 0;
+    while (!core.halted() && seen < insts) {
+        const DynInst &dyn = core.step();
+        ++seen;
+        auto maybe = fill.feed(dyn);
+        if (!maybe)
+            continue;
+        const Trace &t = *maybe;
+        if (have_last) {
+            const TraceId pred = ntp.predict();
+            if (!pred.valid())
+                ++acc.none;
+            else if (pred == t.id)
+                ++acc.correct;
+            else
+                ++acc.wrong;
+        }
+        bool contains_call = false;
+        for (const TraceInst &ti : t.insts)
+            contains_call |= ti.inst.isCall();
+        ntp.advance(t.id, use_rhs && contains_call,
+                    use_rhs && t.endsInReturn());
+        have_last = true;
+    }
+    return acc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "perl";
+    const InstCount insts =
+        argc > 2 ? static_cast<InstCount>(std::atoll(argv[2]))
+                 : 1'000'000;
+
+    WorkloadGenerator gen(specint95Profile(bench));
+    GeneratedWorkload wl = gen.generate();
+    std::printf("next-trace prediction accuracy on %s (%llu "
+                "instructions)\n\n",
+                bench.c_str(),
+                static_cast<unsigned long long>(insts));
+
+    struct Variant
+    {
+        const char *name;
+        unsigned depth;
+        std::size_t primary;
+        bool rhs;
+    };
+    const Variant variants[] = {
+        {"history depth 1, no RHS", 1, 1u << 16, false},
+        {"history depth 2, no RHS", 2, 1u << 16, false},
+        {"history depth 4, no RHS", 4, 1u << 16, false},
+        {"history depth 4, with RHS (paper)", 4, 1u << 16, true},
+        {"history depth 8, with RHS", 8, 1u << 16, true},
+        {"small tables (4K), depth 4, RHS", 4, 1u << 12, true},
+    };
+
+    std::printf("%-36s %9s %9s %9s %8s\n", "configuration",
+                "correct", "wrong", "no-pred", "accuracy");
+    for (const Variant &v : variants) {
+        NtpConfig cfg;
+        cfg.historyDepth = v.depth;
+        cfg.primaryEntries = v.primary;
+        const Accuracy acc =
+            measure(wl.program, cfg, v.rhs, insts);
+        std::printf("%-36s %9llu %9llu %9llu %7.1f%%\n", v.name,
+                    static_cast<unsigned long long>(acc.correct),
+                    static_cast<unsigned long long>(acc.wrong),
+                    static_cast<unsigned long long>(acc.none),
+                    acc.rate());
+    }
+    return 0;
+}

@@ -1,0 +1,65 @@
+#include "bpred/btb.hh"
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+Btb::Btb(std::size_t entries, unsigned assoc) : assoc_(assoc)
+{
+    tpre_assert(assoc >= 1 && entries % assoc == 0);
+    numSets_ = entries / assoc;
+    tpre_assert((numSets_ & (numSets_ - 1)) == 0,
+                "set count must be a power of two");
+    entries_.resize(entries);
+}
+
+std::size_t
+Btb::setOf(Addr pc) const
+{
+    return static_cast<std::size_t>(pc / instBytes) & (numSets_ - 1);
+}
+
+Addr
+Btb::predict(Addr pc) const
+{
+    const std::size_t set = setOf(pc);
+    for (unsigned way = 0; way < assoc_; ++way) {
+        const Entry &entry = entries_[set * assoc_ + way];
+        if (entry.valid && entry.pc == pc)
+            return entry.target;
+    }
+    return invalidAddr;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    const std::size_t set = setOf(pc);
+    Entry *victim = &entries_[set * assoc_];
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &entry = entries_[set * assoc_ + way];
+        if (entry.valid && entry.pc == pc) {
+            entry.target = target;
+            entry.lastUse = ++useClock_;
+            return;
+        }
+        if (!entry.valid)
+            victim = &entry;
+        else if (victim->valid && entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    victim->valid = true;
+    victim->pc = pc;
+    victim->target = target;
+    victim->lastUse = ++useClock_;
+}
+
+void
+Btb::clear()
+{
+    for (Entry &entry : entries_)
+        entry.valid = false;
+}
+
+} // namespace tpre

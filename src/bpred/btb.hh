@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Btb: branch target buffer used by the slow path to predict the
+ * targets of indirect jumps (direct targets decode straight out of
+ * the fetched line). Simple set-associative last-target design.
+ */
+
+#ifndef TPRE_BPRED_BTB_HH
+#define TPRE_BPRED_BTB_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tpre
+{
+
+/** Set-associative last-target BTB. */
+class Btb
+{
+  public:
+    Btb(std::size_t entries = 2048, unsigned assoc = 4);
+
+    /** Predicted target of the jump at @p pc; invalidAddr if none. */
+    Addr predict(Addr pc) const;
+
+    /** Record the resolved target of the jump at @p pc. */
+    void update(Addr pc, Addr target);
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setOf(Addr pc) const;
+
+    unsigned assoc_;
+    std::size_t numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace tpre
+
+#endif // TPRE_BPRED_BTB_HH

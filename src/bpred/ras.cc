@@ -1,0 +1,47 @@
+#include "bpred/ras.hh"
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth)
+    : entries_(depth, invalidAddr)
+{
+    tpre_assert(depth >= 1);
+}
+
+void
+ReturnAddressStack::push(Addr addr)
+{
+    topIndex_ = (topIndex_ + 1) % entries_.size();
+    entries_[topIndex_] = addr;
+    if (count_ < entries_.size())
+        ++count_;
+}
+
+Addr
+ReturnAddressStack::pop()
+{
+    if (count_ == 0)
+        return invalidAddr;
+    const Addr addr = entries_[topIndex_];
+    topIndex_ = (topIndex_ + entries_.size() - 1) % entries_.size();
+    --count_;
+    return addr;
+}
+
+Addr
+ReturnAddressStack::top() const
+{
+    return count_ == 0 ? invalidAddr : entries_[topIndex_];
+}
+
+void
+ReturnAddressStack::clear()
+{
+    topIndex_ = 0;
+    count_ = 0;
+}
+
+} // namespace tpre

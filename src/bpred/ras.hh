@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ReturnAddressStack: the slow path's return-target predictor.
+ * Fixed depth with wrap-around overwrite on overflow, as in real
+ * hardware.
+ */
+
+#ifndef TPRE_BPRED_RAS_HH
+#define TPRE_BPRED_RAS_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tpre
+{
+
+/** Circular hardware return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 32);
+
+    /** Push a return address (on calls). */
+    void push(Addr addr);
+
+    /**
+     * Pop the predicted return target (on returns). Returns
+     * invalidAddr when the stack is empty.
+     */
+    Addr pop();
+
+    /** Peek without popping. */
+    Addr top() const;
+
+    bool empty() const { return count_ == 0; }
+    unsigned size() const { return count_; }
+    unsigned depth() const { return entries_.size(); }
+
+    void clear();
+
+  private:
+    std::vector<Addr> entries_;
+    unsigned topIndex_ = 0;
+    unsigned count_ = 0;
+};
+
+} // namespace tpre
+
+#endif // TPRE_BPRED_RAS_HH

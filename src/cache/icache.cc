@@ -1,0 +1,39 @@
+#include "cache/icache.hh"
+
+namespace tpre
+{
+
+ICache::ICache(ICacheConfig config)
+    : config_(config), tags_(config.geometry)
+{
+}
+
+ICache::AccessResult
+ICache::fetchLine(Addr addr, bool for_precon)
+{
+    const bool hit = tags_.access(addr);
+
+    if (for_precon) {
+        ++stats_.preconAccesses;
+        if (!hit)
+            ++stats_.preconMisses;
+    } else {
+        ++stats_.demandAccesses;
+        if (!hit)
+            ++stats_.demandMisses;
+    }
+
+    AccessResult res;
+    res.hit = hit;
+    res.latency = hit ? config_.hitLatency : config_.missLatency;
+    return res;
+}
+
+void
+ICache::clear()
+{
+    tags_.clear();
+    stats_ = Stats();
+}
+
+} // namespace tpre

@@ -1,0 +1,39 @@
+#include "cache/prefetch_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+PrefetchCache::PrefetchCache(unsigned capacityInsts)
+    : capacityLines_(capacityInsts / instsPerLine)
+{
+    tpre_assert(capacityInsts >= instsPerLine &&
+                capacityInsts % instsPerLine == 0,
+                "capacity must be a whole number of lines");
+    lines_.reserve(capacityLines_);
+}
+
+bool
+PrefetchCache::contains(Addr addr) const
+{
+    const Addr line = lineAddr(addr);
+    return std::find(lines_.begin(), lines_.end(), line) !=
+           lines_.end();
+}
+
+bool
+PrefetchCache::insertLine(Addr addr)
+{
+    const Addr line = lineAddr(addr);
+    if (contains(addr))
+        return true;
+    if (full())
+        return false;
+    lines_.push_back(line);
+    return true;
+}
+
+} // namespace tpre

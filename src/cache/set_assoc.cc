@@ -1,0 +1,88 @@
+#include "cache/set_assoc.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace tpre
+{
+
+SetAssocCache::SetAssocCache(CacheGeometry geometry)
+    : geometry_(geometry)
+{
+    tpre_assert(geometry_.assoc >= 1);
+    tpre_assert(geometry_.lineBytes > 0 &&
+                (geometry_.lineBytes & (geometry_.lineBytes - 1)) == 0,
+                "line size must be a power of two");
+    tpre_assert(geometry_.numLines() % geometry_.assoc == 0,
+                "lines must divide evenly into sets");
+    numSets_ = geometry_.numSets();
+    tpre_assert(numSets_ >= 1);
+    lines_.resize(geometry_.numLines());
+}
+
+std::size_t
+SetAssocCache::setOf(Addr addr) const
+{
+    const Addr line = addr / geometry_.lineBytes;
+    return static_cast<std::size_t>(line % numSets_);
+}
+
+bool
+SetAssocCache::access(Addr addr)
+{
+    const Addr tag = lineAddr(addr);
+    const std::size_t set = setOf(addr);
+    Line *victim = &lines_[set * geometry_.assoc];
+
+    for (unsigned way = 0; way < geometry_.assoc; ++way) {
+        Line &line = lines_[set * geometry_.assoc + way];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = ++useClock_;
+            return true;
+        }
+        if (!line.valid)
+            victim = &line;
+        else if (victim->valid && line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = ++useClock_;
+    return false;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const Addr tag = lineAddr(addr);
+    const std::size_t set = setOf(addr);
+    for (unsigned way = 0; way < geometry_.assoc; ++way) {
+        const Line &line = lines_[set * geometry_.assoc + way];
+        if (line.valid && line.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::invalidate(Addr addr)
+{
+    const Addr tag = lineAddr(addr);
+    const std::size_t set = setOf(addr);
+    for (unsigned way = 0; way < geometry_.assoc; ++way) {
+        Line &line = lines_[set * geometry_.assoc + way];
+        if (line.valid && line.tag == tag)
+            line.valid = false;
+    }
+}
+
+void
+SetAssocCache::clear()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+    useClock_ = 0;
+}
+
+} // namespace tpre

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn()
+ * and inform() for non-fatal notices.
+ */
+
+#ifndef TPRE_COMMON_LOGGING_HH
+#define TPRE_COMMON_LOGGING_HH
+
+#include <cstdarg>
+
+namespace tpre
+{
+
+/**
+ * Report an internal simulator bug and abort. Use for conditions that
+ * must never happen regardless of user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error (bad configuration or
+ * arguments) and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but survivable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert an invariant; panics when the condition does not hold.
+ * Enabled in all build types because the simulator's correctness
+ * claims rest on these checks. The optional second argument is a
+ * plain string literal giving extra context.
+ */
+#define tpre_assert(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::tpre::panic("assertion '%s' failed at %s:%d %s",          \
+                          #cond, __FILE__, __LINE__, "" __VA_ARGS__);   \
+    } while (0)
+
+} // namespace tpre
+
+#endif // TPRE_COMMON_LOGGING_HH

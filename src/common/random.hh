@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload
+ * synthesis and randomized tests. A small xoshiro256** generator is
+ * used instead of <random> engines so that streams are cheap to copy
+ * and bit-for-bit reproducible across platforms.
+ */
+
+#ifndef TPRE_COMMON_RANDOM_HH
+#define TPRE_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace tpre
+{
+
+/**
+ * xoshiro256** pseudo-random generator with convenience helpers.
+ * Seeding uses SplitMix64 so any 64-bit seed yields a well-mixed
+ * state.
+ */
+class Rng
+{
+  public:
+    /** Construct a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 1);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) with bound > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw; true with probability @p p (clamped to [0,1]). */
+    bool nextBool(double p);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Pick a uniformly random element index for a container size. */
+    std::size_t nextIndex(std::size_t size);
+
+    /**
+     * A geometric-flavoured draw used for size distributions: returns
+     * values >= @p min with mean roughly @p mean, capped at @p max.
+     */
+    std::uint64_t nextGeometric(std::uint64_t min, double mean,
+                                std::uint64_t max);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = nextBelow(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Fork an independent child stream (for per-function generators). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/** SplitMix64 single-step mix; useful as a hash finalizer too. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+/** Stateless 64-bit mixing function (SplitMix64 finalizer). */
+std::uint64_t mix64(std::uint64_t x);
+
+} // namespace tpre
+
+#endif // TPRE_COMMON_RANDOM_HH

@@ -1,0 +1,99 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+Counter::Counter(StatGroup &group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    group.add(this);
+}
+
+double
+Counter::perKilo(std::uint64_t denom) const
+{
+    if (denom == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(value_) /
+           static_cast<double>(denom);
+}
+
+Histogram::Histogram(StatGroup &group, std::string name,
+                     std::string desc, std::size_t buckets)
+    : name_(std::move(name)), desc_(std::move(desc)),
+      buckets_(buckets, 0)
+{
+    tpre_assert(buckets > 0);
+    group.add(this);
+}
+
+void
+Histogram::sample(std::uint64_t value, std::uint64_t count)
+{
+    if (value < buckets_.size())
+        buckets_[value] += count;
+    else
+        overflow_ += count;
+    samples_ += count;
+    sum_ += value * count;
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    tpre_assert(i < buckets_.size());
+    return buckets_[i];
+}
+
+double
+Histogram::mean() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(samples_);
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+void
+StatGroup::add(Counter *counter)
+{
+    counters_.push_back(counter);
+}
+
+void
+StatGroup::add(Histogram *histogram)
+{
+    histograms_.push_back(histogram);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+}
+
+std::string
+StatGroup::render() const
+{
+    std::string out;
+    char line[256];
+    for (const Counter *c : counters_) {
+        std::snprintf(line, sizeof(line), "%s.%-40s %12llu  # %s\n",
+                      name_.c_str(), c->name().c_str(),
+                      static_cast<unsigned long long>(c->value()),
+                      c->desc().c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace tpre

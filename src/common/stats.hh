@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's Stats:
+ * named scalar counters and histograms registered with a StatGroup
+ * that can render itself as a table.
+ */
+
+#ifndef TPRE_COMMON_STATS_HH
+#define TPRE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpre
+{
+
+class StatGroup;
+
+/**
+ * A named 64-bit event counter. Counters register themselves with a
+ * StatGroup so a simulation can dump all of its statistics by name.
+ */
+class Counter
+{
+  public:
+    Counter(StatGroup &group, std::string name, std::string desc);
+
+    Counter &operator++() { value_ += 1; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Value scaled per 1000 of @p denom (the paper's favourite unit). */
+    double perKilo(std::uint64_t denom) const;
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A histogram over a fixed set of integer buckets [0, size), with an
+ * overflow bucket. Used for trace length and region size profiles.
+ */
+class Histogram
+{
+  public:
+    Histogram(StatGroup &group, std::string name, std::string desc,
+              std::size_t buckets);
+
+    void sample(std::uint64_t value, std::uint64_t count = 1);
+
+    std::uint64_t bucket(std::size_t i) const;
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t samples() const { return samples_; }
+    double mean() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * A registry of statistics owned by one simulated component. The
+ * group does not own the Counter/Histogram storage; members must
+ * outlive the group (they are normally sibling members of the same
+ * component object).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name);
+
+    void add(Counter *counter);
+    void add(Histogram *histogram);
+
+    /** Reset every registered statistic to zero. */
+    void resetAll();
+
+    /** Render "name value  # desc" lines, one per counter. */
+    std::string render() const;
+
+    const std::string &name() const { return name_; }
+    const std::vector<Counter *> &counters() const { return counters_; }
+
+  private:
+    std::string name_;
+    std::vector<Counter *> counters_;
+    std::vector<Histogram *> histograms_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_COMMON_STATS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental scalar types and machine constants shared by every
+ * tracepre module.
+ */
+
+#ifndef TPRE_COMMON_TYPES_HH
+#define TPRE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace tpre
+{
+
+/** Byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Count of dynamic instructions. */
+using InstCount = std::uint64_t;
+
+/** Raw encoded instruction word. */
+using InstWord = std::uint32_t;
+
+/** Architectural register index. */
+using RegIndex = std::uint8_t;
+
+/** Architectural register value. */
+using RegValue = std::uint64_t;
+
+/** Size in bytes of one fixed-width instruction. */
+constexpr unsigned instBytes = 4;
+
+/** Cache line size used throughout (Section 4.1 of the paper). */
+constexpr unsigned lineBytes = 64;
+
+/** Instructions per cache line. */
+constexpr unsigned instsPerLine = lineBytes / instBytes;
+
+/** Number of architectural integer registers. */
+constexpr unsigned numArchRegs = 32;
+
+/** Maximum number of instructions in a trace (Section 4.1). */
+constexpr unsigned maxTraceLen = 16;
+
+/** Register conventionally holding return addresses (like MIPS $ra). */
+constexpr RegIndex linkReg = 31;
+
+/** Register hard-wired to zero. */
+constexpr RegIndex zeroReg = 0;
+
+/** Stack pointer register by convention. */
+constexpr RegIndex stackReg = 30;
+
+/** An address value that is never a valid instruction address. */
+constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+} // namespace tpre
+
+#endif // TPRE_COMMON_TYPES_HH

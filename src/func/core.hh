@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Functional (architectural) simulation: register state, a
+ * single-instruction executor shared with the preprocessing
+ * equivalence tests, and FunctionalCore, which produces the dynamic
+ * instruction stream that drives every timing model.
+ */
+
+#ifndef TPRE_FUNC_CORE_HH
+#define TPRE_FUNC_CORE_HH
+
+#include <array>
+
+#include "func/memory.hh"
+#include "isa/program.hh"
+
+namespace tpre
+{
+
+/** Architectural register file plus data memory. */
+struct ArchState
+{
+    std::array<RegValue, numArchRegs> regs = {};
+    Memory mem;
+
+    RegValue
+    reg(RegIndex index) const
+    {
+        return index == zeroReg ? 0 : regs[index];
+    }
+
+    void
+    setReg(RegIndex index, RegValue value)
+    {
+        if (index != zeroReg)
+            regs[index] = value;
+    }
+};
+
+/** Outcome of executing one instruction. */
+struct ExecResult
+{
+    /** Address of the next instruction to execute. */
+    Addr nextPc = 0;
+    /** For conditional branches: was the branch taken? */
+    bool taken = false;
+    /** For loads/stores: the effective address. */
+    Addr effAddr = 0;
+    /** Did the instruction halt the machine? */
+    bool halted = false;
+};
+
+/**
+ * Execute one decoded instruction against @p state. This is the
+ * single source of truth for ISA semantics; FunctionalCore and the
+ * trace-equivalence property tests both use it.
+ */
+ExecResult executeInst(const Instruction &inst, Addr pc,
+                       ArchState &state);
+
+/** One entry of the dynamic instruction stream. */
+struct DynInst
+{
+    Addr pc = 0;
+    Instruction inst;
+    Addr nextPc = 0;
+    bool taken = false;
+    Addr effAddr = 0;
+};
+
+/**
+ * Functional core: steps a Program one instruction at a time and
+ * exposes the dynamic stream consumed by the timing simulators.
+ */
+class FunctionalCore
+{
+  public:
+    /** Initial stack pointer handed to programs on reset. */
+    static constexpr Addr initialStack = 0x8000'0000;
+
+    explicit FunctionalCore(const Program &program);
+
+    /** Restart execution from the program entry with cleared state. */
+    void reset();
+
+    /**
+     * Execute one instruction and return its dynamic record. Must
+     * not be called once halted() is true.
+     */
+    const DynInst &step();
+
+    bool halted() const { return halted_; }
+    Addr pc() const { return pc_; }
+    InstCount instsExecuted() const { return instCount_; }
+
+    ArchState &state() { return state_; }
+    const Program &program() const { return program_; }
+
+  private:
+    const Program &program_;
+    ArchState state_;
+    Addr pc_;
+    bool halted_ = false;
+    InstCount instCount_ = 0;
+    DynInst last_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_FUNC_CORE_HH

@@ -1,0 +1,28 @@
+#include "func/memory.hh"
+
+namespace tpre
+{
+
+std::uint64_t
+Memory::read(Addr addr) const
+{
+    const Addr page_num = addr >> pageShift;
+    auto it = pages_.find(page_num);
+    if (it == pages_.end())
+        return 0;
+    const std::size_t word = (addr & (pageBytes - 1)) >> 3;
+    return it->second->words[word];
+}
+
+void
+Memory::write(Addr addr, std::uint64_t value)
+{
+    const Addr page_num = addr >> pageShift;
+    auto &page = pages_[page_num];
+    if (!page)
+        page = std::make_unique<Page>();
+    const std::size_t word = (addr & (pageBytes - 1)) >> 3;
+    page->words[word] = value;
+}
+
+} // namespace tpre

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sparse simulated data memory. Pages are allocated on first touch
+ * and zero-initialized, so any generated address stream is legal.
+ * Data accesses are 64-bit and hardware-aligned: the low three
+ * address bits are ignored.
+ */
+
+#ifndef TPRE_FUNC_MEMORY_HH
+#define TPRE_FUNC_MEMORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace tpre
+{
+
+/** Sparse, page-granular 64-bit-word memory. */
+class Memory
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageBytes = Addr(1) << pageShift;
+    static constexpr std::size_t wordsPerPage = pageBytes / 8;
+
+    Memory() = default;
+
+    // Pages are heap-allocated; moving is fine, copying is not
+    // meaningful for a simulation component.
+    Memory(const Memory &) = delete;
+    Memory &operator=(const Memory &) = delete;
+    Memory(Memory &&) = default;
+    Memory &operator=(Memory &&) = default;
+
+    /** Read the 64-bit word containing @p addr (low bits ignored). */
+    std::uint64_t read(Addr addr) const;
+
+    /** Write the 64-bit word containing @p addr (low bits ignored). */
+    void write(Addr addr, std::uint64_t value);
+
+    /** Number of pages that have been touched. */
+    std::size_t numPages() const { return pages_.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages_.clear(); }
+
+  private:
+    struct Page
+    {
+        std::uint64_t words[wordsPerPage] = {};
+    };
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_FUNC_MEMORY_HH

@@ -1,0 +1,245 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+ProgramBuilder::ProgramBuilder(Addr base) : base_(base)
+{
+    tpre_assert(base % instBytes == 0, "misaligned code base");
+}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel(const std::string &name)
+{
+    labelAddrs_.push_back(invalidAddr);
+    labelNames_.push_back(name);
+    return labelAddrs_.size() - 1;
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    tpre_assert(label < labelAddrs_.size());
+    tpre_assert(labelAddrs_[label] == invalidAddr,
+                "label bound twice");
+    labelAddrs_[label] = nextAddr();
+}
+
+ProgramBuilder::Label
+ProgramBuilder::here(const std::string &name)
+{
+    Label label = newLabel(name);
+    bind(label);
+    return label;
+}
+
+Addr
+ProgramBuilder::labelAddr(Label label) const
+{
+    tpre_assert(label < labelAddrs_.size() &&
+                labelAddrs_[label] != invalidAddr,
+                "labelAddr() of unbound label");
+    return labelAddrs_[label];
+}
+
+void
+ProgramBuilder::emit(const Instruction &inst)
+{
+    words_.push_back(encode(inst));
+}
+
+namespace
+{
+
+Instruction
+rType(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.rs2 = rs2;
+    return inst;
+}
+
+Instruction
+iType(Opcode op, RegIndex rd, RegIndex rs1, std::int32_t imm)
+{
+    Instruction inst;
+    inst.op = op;
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.imm = imm;
+    return inst;
+}
+
+} // namespace
+
+void ProgramBuilder::add(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::Add, rd, rs1, rs2)); }
+void ProgramBuilder::sub(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::Sub, rd, rs1, rs2)); }
+void ProgramBuilder::and_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::And, rd, rs1, rs2)); }
+void ProgramBuilder::or_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::Or, rd, rs1, rs2)); }
+void ProgramBuilder::xor_(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::Xor, rd, rs1, rs2)); }
+void ProgramBuilder::sll(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::Sll, rd, rs1, rs2)); }
+void ProgramBuilder::srl(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::Srl, rd, rs1, rs2)); }
+void ProgramBuilder::slt(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::Slt, rd, rs1, rs2)); }
+void ProgramBuilder::mul(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::Mul, rd, rs1, rs2)); }
+void ProgramBuilder::div(RegIndex rd, RegIndex rs1, RegIndex rs2)
+{ emit(rType(Opcode::Div, rd, rs1, rs2)); }
+
+void ProgramBuilder::addi(RegIndex rd, RegIndex rs1, std::int32_t imm)
+{ emit(iType(Opcode::Addi, rd, rs1, imm)); }
+void ProgramBuilder::andi(RegIndex rd, RegIndex rs1, std::int32_t imm)
+{ emit(iType(Opcode::Andi, rd, rs1, imm)); }
+void ProgramBuilder::ori(RegIndex rd, RegIndex rs1, std::int32_t imm)
+{ emit(iType(Opcode::Ori, rd, rs1, imm)); }
+void ProgramBuilder::xori(RegIndex rd, RegIndex rs1, std::int32_t imm)
+{ emit(iType(Opcode::Xori, rd, rs1, imm)); }
+void ProgramBuilder::slli(RegIndex rd, RegIndex rs1, std::int32_t sh)
+{ emit(iType(Opcode::Slli, rd, rs1, sh)); }
+void ProgramBuilder::srli(RegIndex rd, RegIndex rs1, std::int32_t sh)
+{ emit(iType(Opcode::Srli, rd, rs1, sh)); }
+void ProgramBuilder::slti(RegIndex rd, RegIndex rs1, std::int32_t imm)
+{ emit(iType(Opcode::Slti, rd, rs1, imm)); }
+void ProgramBuilder::lui(RegIndex rd, std::int32_t imm)
+{ emit(iType(Opcode::Lui, rd, 0, imm)); }
+void ProgramBuilder::mov(RegIndex rd, RegIndex rs1)
+{ addi(rd, rs1, 0); }
+void ProgramBuilder::li(RegIndex rd, std::int32_t imm)
+{ addi(rd, zeroReg, imm); }
+
+void ProgramBuilder::ld(RegIndex rd, RegIndex rs1, std::int32_t imm)
+{ emit(iType(Opcode::Ld, rd, rs1, imm)); }
+void ProgramBuilder::sd(RegIndex rs2, RegIndex rs1, std::int32_t imm)
+{
+    Instruction inst;
+    inst.op = Opcode::Sd;
+    inst.rs2 = rs2;
+    inst.rs1 = rs1;
+    inst.imm = imm;
+    emit(inst);
+}
+
+void
+ProgramBuilder::emitBranchTo(Opcode op, RegIndex a, RegIndex b,
+                             Label target)
+{
+    tpre_assert(target < labelAddrs_.size());
+    Instruction inst;
+    inst.op = op;
+    if (op == Opcode::Jal) {
+        inst.rd = a;
+    } else {
+        inst.rs1 = a;
+        inst.rs2 = b;
+    }
+    inst.imm = 0;
+    fixups_.push_back({words_.size(), target});
+    emit(inst);
+}
+
+void ProgramBuilder::beq(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranchTo(Opcode::Beq, rs1, rs2, target); }
+void ProgramBuilder::bne(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranchTo(Opcode::Bne, rs1, rs2, target); }
+void ProgramBuilder::blt(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranchTo(Opcode::Blt, rs1, rs2, target); }
+void ProgramBuilder::bge(RegIndex rs1, RegIndex rs2, Label target)
+{ emitBranchTo(Opcode::Bge, rs1, rs2, target); }
+void ProgramBuilder::jal(RegIndex rd, Label target)
+{ emitBranchTo(Opcode::Jal, rd, 0, target); }
+void ProgramBuilder::jmp(Label target)
+{ jal(zeroReg, target); }
+void ProgramBuilder::call(Label target)
+{ jal(linkReg, target); }
+
+void
+ProgramBuilder::jalr(RegIndex rd, RegIndex rs1, std::int32_t imm)
+{
+    emit(iType(Opcode::Jalr, rd, rs1, imm));
+}
+
+void
+ProgramBuilder::ret()
+{
+    jalr(zeroReg, linkReg, 0);
+}
+
+void
+ProgramBuilder::halt()
+{
+    Instruction inst;
+    inst.op = Opcode::Halt;
+    emit(inst);
+}
+
+void
+ProgramBuilder::nop()
+{
+    addi(zeroReg, zeroReg, 0);
+}
+
+void
+ProgramBuilder::applyFixups()
+{
+    for (const Fixup &fix : fixups_) {
+        Addr target = labelAddrs_[fix.label];
+        tpre_assert(target != invalidAddr, "unbound label referenced");
+        Addr pc = base_ + fix.instIndex * instBytes;
+        std::int64_t delta =
+            (static_cast<std::int64_t>(target) -
+             static_cast<std::int64_t>(pc + instBytes)) /
+            static_cast<std::int64_t>(instBytes);
+
+        Instruction inst = decode(words_[fix.instIndex]);
+        inst.imm = static_cast<std::int32_t>(delta);
+        words_[fix.instIndex] = encode(inst);
+    }
+    fixups_.clear();
+}
+
+Program
+ProgramBuilder::build(Label entry)
+{
+    tpre_assert(!built_, "build() called twice");
+    tpre_assert(entry < labelAddrs_.size() &&
+                labelAddrs_[entry] != invalidAddr,
+                "entry label unbound");
+    applyFixups();
+    built_ = true;
+
+    Program program(base_, words_, labelAddrs_[entry]);
+    for (std::size_t i = 0; i < labelAddrs_.size(); ++i) {
+        if (!labelNames_[i].empty() && labelAddrs_[i] != invalidAddr)
+            program.addSymbol(labelNames_[i], labelAddrs_[i]);
+    }
+    return program;
+}
+
+Program
+ProgramBuilder::build()
+{
+    tpre_assert(!built_, "build() called twice");
+    applyFixups();
+    built_ = true;
+
+    Program program(base_, words_, base_);
+    for (std::size_t i = 0; i < labelAddrs_.size(); ++i) {
+        if (!labelNames_[i].empty() && labelAddrs_[i] != invalidAddr)
+            program.addSymbol(labelNames_[i], labelAddrs_[i]);
+    }
+    return program;
+}
+
+} // namespace tpre

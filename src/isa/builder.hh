@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ProgramBuilder: an assembler-style API for constructing Programs
+ * with forward label references. Used by hand-written examples,
+ * unit tests and the synthetic workload generator.
+ */
+
+#ifndef TPRE_ISA_BUILDER_HH
+#define TPRE_ISA_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace tpre
+{
+
+/**
+ * Builds a Program incrementally. Labels may be referenced before
+ * they are bound; all fixups resolve in build().
+ */
+class ProgramBuilder
+{
+  public:
+    /** Opaque label handle. */
+    using Label = std::size_t;
+
+    explicit ProgramBuilder(Addr base = 0x1000);
+
+    /** Create an unbound label, optionally named for the symbol table. */
+    Label newLabel(const std::string &name = std::string());
+    /** Bind @p label to the current position. */
+    void bind(Label label);
+    /** Create a label already bound to the current position. */
+    Label here(const std::string &name = std::string());
+
+    /** Address of a bound label (asserts if unbound). */
+    Addr labelAddr(Label label) const;
+
+    /** Address the next emitted instruction will occupy. */
+    Addr nextAddr() const { return base_ + words_.size() * instBytes; }
+    std::size_t numInsts() const { return words_.size(); }
+
+    // ALU register-register
+    void add(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sub(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void and_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void or_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void xor_(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void sll(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void srl(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void slt(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void mul(RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void div(RegIndex rd, RegIndex rs1, RegIndex rs2);
+
+    // ALU register-immediate
+    void addi(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    void andi(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    void ori(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    void xori(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    void slli(RegIndex rd, RegIndex rs1, std::int32_t sh);
+    void srli(RegIndex rd, RegIndex rs1, std::int32_t sh);
+    void slti(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    void lui(RegIndex rd, std::int32_t imm);
+    /** rd = rs1 (addi rd, rs1, 0). */
+    void mov(RegIndex rd, RegIndex rs1);
+    /** rd = imm (addi rd, r0, imm); imm must fit 16 bits. */
+    void li(RegIndex rd, std::int32_t imm);
+
+    // Memory
+    void ld(RegIndex rd, RegIndex rs1, std::int32_t imm);
+    void sd(RegIndex rs2, RegIndex rs1, std::int32_t imm);
+
+    // Control flow, label-targeted
+    void beq(RegIndex rs1, RegIndex rs2, Label target);
+    void bne(RegIndex rs1, RegIndex rs2, Label target);
+    void blt(RegIndex rs1, RegIndex rs2, Label target);
+    void bge(RegIndex rs1, RegIndex rs2, Label target);
+    /** Direct jump-and-link; pass linkReg as @p rd for a call. */
+    void jal(RegIndex rd, Label target);
+    /** Unconditional direct jump (jal with rd = r0). */
+    void jmp(Label target);
+    /** Procedure call (jal with rd = linkReg). */
+    void call(Label target);
+    /** Indirect jump through rs1 + imm; links into rd. */
+    void jalr(RegIndex rd, RegIndex rs1, std::int32_t imm = 0);
+    /** Procedure return (jalr r0, linkReg). */
+    void ret();
+    void halt();
+    void nop();
+
+    /** Emit an arbitrary pre-built instruction (no label fixup). */
+    void emit(const Instruction &inst);
+
+    /**
+     * Finalize into a Program.
+     * @param entry Label of the entry point; defaults to base.
+     */
+    Program build(Label entry);
+    Program build();
+
+  private:
+    struct Fixup
+    {
+        std::size_t instIndex;
+        Label label;
+    };
+
+    void emitBranchTo(Opcode op, RegIndex a, RegIndex b, Label target);
+    void applyFixups();
+
+    Addr base_;
+    std::vector<InstWord> words_;
+    std::vector<Addr> labelAddrs_;
+    std::vector<std::string> labelNames_;
+    std::vector<Fixup> fixups_;
+    bool built_ = false;
+};
+
+} // namespace tpre
+
+#endif // TPRE_ISA_BUILDER_HH

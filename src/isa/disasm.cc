@@ -1,0 +1,93 @@
+#include "isa/disasm.hh"
+
+#include <cstdio>
+
+namespace tpre
+{
+
+std::string
+disassemble(const Instruction &inst, Addr pc)
+{
+    char buf[96];
+    const char *name = opcodeName(inst.op);
+    switch (inst.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Sll:
+      case Opcode::Srl: case Opcode::Sra: case Opcode::Slt:
+      case Opcode::Sltu: case Opcode::Mul: case Opcode::Div:
+        std::snprintf(buf, sizeof(buf), "%-5s r%u, r%u, r%u", name,
+                      inst.rd, inst.rs1, inst.rs2);
+        break;
+      case Opcode::Addi: case Opcode::Andi: case Opcode::Ori:
+      case Opcode::Xori: case Opcode::Slli: case Opcode::Srli:
+      case Opcode::Slti:
+        std::snprintf(buf, sizeof(buf), "%-5s r%u, r%u, %d", name,
+                      inst.rd, inst.rs1, inst.imm);
+        break;
+      case Opcode::Lui:
+        std::snprintf(buf, sizeof(buf), "%-5s r%u, %d", name,
+                      inst.rd, inst.imm);
+        break;
+      case Opcode::Ld:
+        std::snprintf(buf, sizeof(buf), "%-5s r%u, %d(r%u)", name,
+                      inst.rd, inst.imm, inst.rs1);
+        break;
+      case Opcode::Sd:
+        std::snprintf(buf, sizeof(buf), "%-5s r%u, %d(r%u)", name,
+                      inst.rs2, inst.imm, inst.rs1);
+        break;
+      case Opcode::Beq: case Opcode::Bne: case Opcode::Blt:
+      case Opcode::Bge:
+        std::snprintf(buf, sizeof(buf), "%-5s r%u, r%u, 0x%llx",
+                      name, inst.rs1, inst.rs2,
+                      static_cast<unsigned long long>(
+                          inst.targetOf(pc)));
+        break;
+      case Opcode::Jal:
+        std::snprintf(buf, sizeof(buf), "%-5s r%u, 0x%llx", name,
+                      inst.rd,
+                      static_cast<unsigned long long>(
+                          inst.targetOf(pc)));
+        break;
+      case Opcode::Jalr:
+        std::snprintf(buf, sizeof(buf), "%-5s r%u, %d(r%u)", name,
+                      inst.rd, inst.imm, inst.rs1);
+        break;
+      case Opcode::Halt:
+        std::snprintf(buf, sizeof(buf), "%s", name);
+        break;
+      case Opcode::Fused:
+        std::snprintf(buf, sizeof(buf),
+                      "%-5s r%u, (r%u<<%u)+(r%u<<%u)+%d", name,
+                      inst.rd, inst.rs1, inst.sh1, inst.rs2,
+                      inst.sh2, inst.imm);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "???");
+        break;
+    }
+    return buf;
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::string out;
+    char head[64];
+    for (Addr pc = program.base(); pc < program.end();
+         pc += instBytes) {
+        std::string sym = program.symbolAt(pc);
+        if (!sym.empty()) {
+            out += sym;
+            out += ":\n";
+        }
+        std::snprintf(head, sizeof(head), "  %08llx:  ",
+                      static_cast<unsigned long long>(pc));
+        out += head;
+        out += disassemble(program.instAt(pc), pc);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace tpre

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Disassembler: renders decoded instructions and whole programs as
+ * human-readable text for debugging and example output.
+ */
+
+#ifndef TPRE_ISA_DISASM_HH
+#define TPRE_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace tpre
+{
+
+/**
+ * Render one instruction. @p pc is used to resolve branch and jump
+ * targets to absolute addresses.
+ */
+std::string disassemble(const Instruction &inst, Addr pc);
+
+/** Render a whole program, one "addr: text" line per instruction. */
+std::string disassemble(const Program &program);
+
+} // namespace tpre
+
+#endif // TPRE_ISA_DISASM_HH

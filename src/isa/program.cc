@@ -1,0 +1,69 @@
+#include "isa/program.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+Program::Program(Addr base, std::vector<InstWord> code, Addr entry)
+    : base_(base), entry_(entry), code_(std::move(code))
+{
+    tpre_assert(base_ % instBytes == 0, "misaligned code base");
+    tpre_assert(!code_.empty(), "empty program");
+    tpre_assert(entry_ >= base_ && entry_ < end(),
+                "entry point outside image");
+
+    decoded_.reserve(code_.size());
+    for (InstWord word : code_)
+        decoded_.push_back(decode(word));
+}
+
+bool
+Program::contains(Addr pc) const
+{
+    return pc >= base_ && pc < end() && pc % instBytes == 0;
+}
+
+std::size_t
+Program::indexOf(Addr pc) const
+{
+    tpre_assert(contains(pc), "fetch outside program image");
+    return static_cast<std::size_t>((pc - base_) / instBytes);
+}
+
+InstWord
+Program::wordAt(Addr pc) const
+{
+    return code_[indexOf(pc)];
+}
+
+const Instruction &
+Program::instAt(Addr pc) const
+{
+    return decoded_[indexOf(pc)];
+}
+
+void
+Program::addSymbol(const std::string &name, Addr addr)
+{
+    symbols_[name] = addr;
+    symbolNames_[addr] = name;
+}
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols_.find(name);
+    return it == symbols_.end() ? invalidAddr : it->second;
+}
+
+std::string
+Program::symbolAt(Addr addr) const
+{
+    auto it = symbolNames_.find(addr);
+    return it == symbolNames_.end() ? std::string() : it->second;
+}
+
+} // namespace tpre

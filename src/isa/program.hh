@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Program: an immutable code image plus entry point and symbol
+ * table. Instructions are pre-decoded once so that the simulators
+ * can fetch decoded instructions at full speed.
+ */
+
+#ifndef TPRE_ISA_PROGRAM_HH
+#define TPRE_ISA_PROGRAM_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace tpre
+{
+
+/** An executable code image in the tracepre ISA. */
+class Program
+{
+  public:
+    /**
+     * @param base Byte address of the first instruction (must be
+     *             instruction aligned).
+     * @param code Encoded instruction words, contiguous from base.
+     * @param entry Entry point address (must lie within the image).
+     */
+    Program(Addr base, std::vector<InstWord> code, Addr entry);
+
+    Addr base() const { return base_; }
+    Addr entry() const { return entry_; }
+    /** One past the last valid instruction address. */
+    Addr end() const { return base_ + code_.size() * instBytes; }
+    std::size_t numInsts() const { return code_.size(); }
+    /** Static code footprint in bytes. */
+    std::size_t codeBytes() const { return code_.size() * instBytes; }
+
+    bool contains(Addr pc) const;
+
+    /** Raw instruction word at @p pc; pc must be in range. */
+    InstWord wordAt(Addr pc) const;
+
+    /** Pre-decoded instruction at @p pc; pc must be in range. */
+    const Instruction &instAt(Addr pc) const;
+
+    /** Attach a symbol name to an address (for tests/debugging). */
+    void addSymbol(const std::string &name, Addr addr);
+    /** Look up a symbol; returns invalidAddr when absent. */
+    Addr symbol(const std::string &name) const;
+    /** Reverse lookup; returns empty string when unknown. */
+    std::string symbolAt(Addr addr) const;
+
+  private:
+    std::size_t indexOf(Addr pc) const;
+
+    Addr base_;
+    Addr entry_;
+    std::vector<InstWord> code_;
+    std::vector<Instruction> decoded_;
+    std::unordered_map<std::string, Addr> symbols_;
+    std::unordered_map<Addr, std::string> symbolNames_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_ISA_PROGRAM_HH

@@ -1,0 +1,221 @@
+#include "precon/constructor.hh"
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+PreconConstructor::PreconConstructor(const Program &program,
+                                     const BimodalPredictor &bimodal,
+                                     const PreconPolicy &policy)
+    : program_(program), bimodal_(bimodal), policy_(policy),
+      builder_(policy.selection)
+{
+}
+
+void
+PreconConstructor::assign(Region &region, Addr startPc)
+{
+    tpre_assert(idle(), "assign() to a busy constructor");
+    region_ = &region;
+    ++region.workers;
+    startPc_ = startPc;
+    pendingPaths_.clear();
+    forkBudget_ = policy_.decisionDepth;
+    tracesFromStart_ = 0;
+    beginPath({});
+}
+
+void
+PreconConstructor::abandon()
+{
+    if (region_) {
+        tpre_assert(region_->workers > 0);
+        --region_->workers;
+    }
+    region_ = nullptr;
+    pathActive_ = false;
+    if (builder_.active())
+        builder_.abandon();
+    pendingPaths_.clear();
+}
+
+void
+PreconConstructor::beginPath(std::vector<bool> prescribed)
+{
+    decisions_ = std::move(prescribed);
+    decIndex_ = 0;
+    pc_ = startPc_;
+    callStack_.clear();
+    callStackBroken_ = false;
+    if (builder_.active())
+        builder_.abandon();
+    builder_.begin(startPc_);
+    pathActive_ = true;
+}
+
+void
+PreconConstructor::pathDone(bool regionStopped)
+{
+    pathActive_ = false;
+    if (builder_.active())
+        builder_.abandon();
+
+    if (regionStopped) {
+        abandon();
+        return;
+    }
+
+    // Backtrack to the most recent decision point, if any.
+    if (tracesFromStart_ < policy_.maxTracesPerStart &&
+        !pendingPaths_.empty()) {
+        std::vector<bool> next = std::move(pendingPaths_.back());
+        pendingPaths_.pop_back();
+        beginPath(std::move(next));
+        return;
+    }
+
+    // Done with this trace start point.
+    tpre_assert(region_ && region_->workers > 0);
+    --region_->workers;
+    region_ = nullptr;
+}
+
+bool
+PreconConstructor::stepOne(PreconTraceSink &sink)
+{
+    // Path left the program image (e.g. fell off a generated
+    // region): nothing more can be fetched.
+    if (!program_.contains(pc_)) {
+        pathDone(false);
+        return true;
+    }
+
+    PrefetchCache &prefetch = region_->prefetch();
+    if (!prefetch.contains(pc_)) {
+        if (prefetch.full()) {
+            // Fill-up semantics: region terminates (Section 3.3.1).
+            Region *region = region_;
+            abandon();
+            region->finish(RegionEndReason::PrefetchFull);
+            return true;
+        }
+        region_->noteNeededLine(prefetch.lineAddr(pc_));
+        return false; // stalled awaiting the line
+    }
+
+    const Instruction &inst = program_.instAt(pc_);
+    const Addr pc = pc_;
+    bool dir = false;
+    Addr next_pc = Instruction::fallThrough(pc);
+    Addr resume_after_return = invalidAddr;
+
+    if (inst.isCondBranch()) {
+        if (decIndex_ < decisions_.size()) {
+            // Replaying the prescribed prefix of this path.
+            dir = decisions_[decIndex_++];
+        } else {
+            // Bias pruning applies to *forward* branches only
+            // (Section 2.1): a backward branch is a loop-closing
+            // branch whose exit path is guaranteed to be needed,
+            // so both directions are explored. Iterate (taken)
+            // first so the common in-loop trace is built before
+            // the once-per-loop exit trace.
+            const BranchBias bias = bimodal_.bias(pc);
+            if (inst.isBackwardBranch()) {
+                dir = true;
+                if (forkBudget_ > 0) {
+                    --forkBudget_;
+                    std::vector<bool> alt = decisions_;
+                    alt.push_back(false);
+                    pendingPaths_.push_back(std::move(alt));
+                }
+            } else if (bias.strong) {
+                dir = bias.taken;
+            } else {
+                // Follow not-taken first; push the taken
+                // alternative on the decision stack.
+                dir = false;
+                if (forkBudget_ > 0) {
+                    --forkBudget_;
+                    std::vector<bool> alt = decisions_;
+                    alt.push_back(true);
+                    pendingPaths_.push_back(std::move(alt));
+                }
+            }
+            decisions_.push_back(dir);
+            ++decIndex_;
+        }
+        if (dir)
+            next_pc = inst.targetOf(pc);
+    } else if (inst.isDirectJump()) {
+        next_pc = inst.targetOf(pc);
+        if (inst.isCall()) {
+            if (callStack_.size() < policy_.callStackDepth)
+                callStack_.push_back(Instruction::fallThrough(pc));
+            else
+                callStackBroken_ = true;
+        }
+    } else if (inst.isReturn()) {
+        if (!callStack_.empty() && !callStackBroken_) {
+            resume_after_return = callStack_.back();
+            callStack_.pop_back();
+        }
+        next_pc = invalidAddr;
+    } else if (inst.isIndirectJump()) {
+        // Indirect target unknown to the constructor: the trace
+        // ends here and the path cannot continue (Section 2.1).
+        next_pc = invalidAddr;
+    } else if (inst.op == Opcode::Halt) {
+        next_pc = invalidAddr;
+    }
+
+    const bool completed = builder_.append(inst, pc, dir, next_pc);
+    pc_ = next_pc;
+
+    if (!completed)
+        return true;
+
+    Trace trace = builder_.take();
+    const Addr continuation =
+        trace.endsInReturn() ? resume_after_return
+                             : trace.fallThrough;
+    ++tracesFromStart_;
+    ++region_->tracesConstructed;
+
+    Region *region = region_;
+    if (!sink.emitTrace(*region, std::move(trace))) {
+        // The preconstruction buffers refused the trace: all
+        // eviction candidates belong to this or a newer region.
+        // This is the buffer-availability bound of Section 3.1;
+        // after a few refusals the region is out of useful space
+        // and terminates.
+        if (++region->bufferRefusals >= 4) {
+            abandon();
+            region->finish(RegionEndReason::BuffersFull);
+            return true;
+        }
+    }
+
+    // The instruction following a completed trace is a new
+    // potential trace start point (Section 2.1).
+    if (continuation != invalidAddr)
+        region->addStartPoint(continuation);
+
+    pathDone(false);
+    return true;
+}
+
+unsigned
+PreconConstructor::tick(unsigned instBudget, PreconTraceSink &sink)
+{
+    unsigned processed = 0;
+    while (processed < instBudget && region_ && pathActive_) {
+        if (!stepOne(sink))
+            break; // stalled on a line fetch
+        ++processed;
+    }
+    return processed;
+}
+
+} // namespace tpre

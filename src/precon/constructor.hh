@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PreconConstructor: one of the (four) parallel trace constructors
+ * of Section 3.3.2 / 3.4. Given a trace start point within a
+ * region, it walks forward through the *static* program, following
+ * strongly-biased conditional branches in their dominant direction
+ * and forking on unbiased ones via a small internal decision stack
+ * (not-taken path first), and emits every completed trace. It
+ * terminates paths at indirect jumps with unresolvable targets.
+ */
+
+#ifndef TPRE_PRECON_CONSTRUCTOR_HH
+#define TPRE_PRECON_CONSTRUCTOR_HH
+
+#include <vector>
+
+#include "bpred/bimodal.hh"
+#include "isa/program.hh"
+#include "precon/region.hh"
+
+namespace tpre
+{
+
+/** Where completed preconstructed traces go (the engine). */
+class PreconTraceSink
+{
+  public:
+    virtual ~PreconTraceSink() = default;
+
+    /**
+     * A constructor finished a trace for @p region.
+     * @return false when the trace could not be buffered (the
+     *         region hit its resource bound and must terminate).
+     */
+    virtual bool emitTrace(Region &region, Trace trace) = 0;
+};
+
+/** One parallel trace-constructor unit. */
+class PreconConstructor
+{
+  public:
+    PreconConstructor(const Program &program,
+                      const BimodalPredictor &bimodal,
+                      const PreconPolicy &policy);
+
+    bool idle() const { return region_ == nullptr; }
+    Region *region() const { return region_; }
+
+    /** Begin working on a trace start point of @p region. */
+    void assign(Region &region, Addr startPc);
+
+    /** Abandon all work (region terminated). */
+    void abandon();
+
+    /**
+     * Advance by up to @p instBudget instructions. May stall on a
+     * missing prefetch-cache line (registered with the region) or
+     * finish the start point (constructor goes idle).
+     *
+     * @return instructions actually processed.
+     */
+    unsigned tick(unsigned instBudget, PreconTraceSink &sink);
+
+  private:
+    /** Begin (or restart) a path for the current start point. */
+    void beginPath(std::vector<bool> prescribed);
+    /** Process one instruction; false = stalled on a line fetch. */
+    bool stepOne(PreconTraceSink &sink);
+    /** Current path ended: backtrack or finish the start point. */
+    void pathDone(bool regionStopped);
+
+    const Program &program_;
+    const BimodalPredictor &bimodal_;
+    PreconPolicy policy_;
+
+    Region *region_ = nullptr;
+    Addr startPc_ = invalidAddr;
+
+    TraceBuilder builder_;
+    Addr pc_ = invalidAddr;
+    /** Conditional-branch outcomes recorded along this path. */
+    std::vector<bool> decisions_;
+    /** How many of decisions_ are replayed prescriptions. */
+    std::size_t decIndex_ = 0;
+    /** Alternative paths to explore (decision-stack backtracking). */
+    std::vector<std::vector<bool>> pendingPaths_;
+    /** Remaining forks allowed for this start point. */
+    unsigned forkBudget_ = 0;
+    /** Intra-path call stack for resolving returns. */
+    std::vector<Addr> callStack_;
+    bool callStackBroken_ = false;
+    unsigned tracesFromStart_ = 0;
+    bool pathActive_ = false;
+};
+
+} // namespace tpre
+
+#endif // TPRE_PRECON_CONSTRUCTOR_HH

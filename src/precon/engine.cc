@@ -1,0 +1,334 @@
+#include "precon/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+PreconstructionEngine::PreconstructionEngine(
+    const Program &program, ICache &icache,
+    const BimodalPredictor &bimodal, const TraceCache &traceCache,
+    PreconConfig config)
+    : program_(program), icache_(icache), bimodal_(bimodal),
+      traceCache_(traceCache), config_(config),
+      buffers_(config.bufferEntries, config.bufferAssoc),
+      stack_(config.stackDepth, config.completedSlots)
+{
+    tpre_assert(config_.numConstructors >= 1);
+    tpre_assert(config_.numPrefetchCaches >= 1);
+    constructors_.reserve(config_.numConstructors);
+    for (unsigned i = 0; i < config_.numConstructors; ++i)
+        constructors_.emplace_back(program_, bimodal_,
+                                   config_.policy);
+}
+
+PreconstructionEngine::~PreconstructionEngine() = default;
+
+const Trace *
+PreconstructionEngine::lookupBuffer(const TraceId &id)
+{
+    const PreconStore &store =
+        externalStore_ ? static_cast<const PreconStore &>(
+                             *externalStore_)
+                       : buffers_;
+    const Trace *trace = store.lookup(id);
+    if (trace)
+        ++stats_.bufferHits;
+    return trace;
+}
+
+void
+PreconstructionEngine::consumeHit(const TraceId &id)
+{
+    if (externalStore_)
+        externalStore_->invalidate(id);
+    else
+        buffers_.invalidate(id);
+}
+
+void
+PreconstructionEngine::observeDispatch(const DynInst &dyn)
+{
+    // Catch-up detection: the processor reached the start of an
+    // active region, so further preconstruction there is pointless
+    // (any traces already buffered stay useful).
+    for (auto &region : regions_) {
+        if (region->state() == RegionState::Active &&
+            dyn.pc == region->startAddr()) {
+            terminateRegion(*region, RegionEndReason::CaughtUp);
+        }
+    }
+    stack_.removeReached(dyn.pc);
+
+    // New start points: the return point of a call, or the
+    // fall-through (loop exit) of a taken backward branch.
+    Addr candidate = invalidAddr;
+    StartPointKind kind = StartPointKind::CallReturn;
+    if (dyn.inst.isCall()) {
+        candidate = Instruction::fallThrough(dyn.pc);
+        kind = StartPointKind::CallReturn;
+    } else if (dyn.inst.isBackwardBranch() && dyn.taken) {
+        candidate = Instruction::fallThrough(dyn.pc);
+        kind = StartPointKind::LoopExit;
+    }
+    if (candidate == invalidAddr)
+        return;
+
+    // Skip regions already being preconstructed.
+    for (const auto &region : regions_) {
+        if (region->state() == RegionState::Active &&
+            region->startAddr() == candidate) {
+            return;
+        }
+    }
+    if (stack_.push(candidate, kind))
+        ++stats_.startPointsPushed;
+}
+
+void
+PreconstructionEngine::observeMisspeculation(
+    const std::vector<Addr> &addrs)
+{
+    stack_.removeMisspeculated(addrs);
+}
+
+bool
+PreconstructionEngine::emitTrace(Region &region, Trace trace)
+{
+    ++stats_.tracesConstructed;
+    ++region.tracesEmitted;
+    // Avoid redundancy with the primary trace cache (Section 3.1).
+    const bool in_primary = primaryProbe_
+                                ? primaryProbe_(trace.id)
+                                : traceCache_.contains(trace.id);
+    if (in_primary) {
+        ++stats_.tracesAlreadyInTc;
+        if (region.tracesEmitted == region.leadingWarmTraces + 1)
+            ++region.leadingWarmTraces;
+        if (config_.warmRegionThreshold &&
+            region.leadingWarmTraces >= config_.warmRegionThreshold)
+            terminateRegion(region, RegionEndReason::Warm);
+        return true;
+    }
+    const TraceId id = trace.id;
+    PreconStore &store =
+        externalStore_ ? *externalStore_
+                       : static_cast<PreconStore &>(buffers_);
+    if (!store.insert(std::move(trace), region.seq()))
+        return false;
+    ++stats_.tracesBuffered;
+    if (diagLog_)
+        bufferedLog_.push_back(id);
+    return true;
+}
+
+std::vector<TraceId>
+PreconstructionEngine::drainBufferedLog()
+{
+    std::vector<TraceId> out = std::move(bufferedLog_);
+    bufferedLog_.clear();
+    return out;
+}
+
+void
+PreconstructionEngine::terminateRegion(Region &region,
+                                       RegionEndReason reason)
+{
+    if (region.state() == RegionState::Done)
+        return;
+    region.finish(reason);
+}
+
+void
+PreconstructionEngine::completeFetches()
+{
+    for (auto &region : regions_) {
+        auto &pending = region->pendingFetches;
+        for (std::size_t i = 0; i < pending.size();) {
+            if (now_ < pending[i].readyAt) {
+                ++i;
+                continue;
+            }
+            const Addr line = pending[i].line;
+            pending.erase(pending.begin() + i);
+            if (region->state() != RegionState::Active)
+                continue;
+            if (!region->prefetch().insertLine(line))
+                terminateRegion(*region,
+                                RegionEndReason::PrefetchFull);
+            std::erase(region->neededLines, line);
+        }
+    }
+}
+
+void
+PreconstructionEngine::issueFetch()
+{
+    // One spare I-cache port (one access per idle cycle); the
+    // cache is non-blocking, so a region may have several fills
+    // outstanding. Newest region first.
+    Region *chosen = nullptr;
+    Addr chosen_line = invalidAddr;
+    for (auto &region : regions_) {
+        if (region->state() != RegionState::Active ||
+            region->pendingFetches.size() >=
+                config_.maxOutstandingFetches) {
+            continue;
+        }
+        if (chosen && region->seq() <= chosen->seq())
+            continue;
+        for (Addr line : region->neededLines) {
+            if (!region->hasPending(line)) {
+                chosen = region.get();
+                chosen_line = line;
+                break;
+            }
+        }
+    }
+    if (!chosen)
+        return;
+
+    const ICache::AccessResult res =
+        icache_.fetchLine(chosen_line, true);
+    ++stats_.linesFetched;
+    chosen->pendingFetches.push_back(
+        {chosen_line, now_ + res.latency});
+}
+
+void
+PreconstructionEngine::assignConstructors()
+{
+    for (auto &constructor : constructors_) {
+        if (!constructor.idle())
+            continue;
+        // Highest-priority (newest) region with pending work.
+        Region *chosen = nullptr;
+        for (auto &region : regions_) {
+            if (region->state() == RegionState::Active &&
+                !region->worklistEmpty() &&
+                (!chosen || region->seq() > chosen->seq())) {
+                chosen = region.get();
+            }
+        }
+        if (!chosen)
+            return;
+        constructor.assign(*chosen, chosen->takeStartPoint());
+    }
+}
+
+void
+PreconstructionEngine::retireRegions()
+{
+    for (auto &region : regions_) {
+        if (region->state() == RegionState::Active &&
+            region->worklistEmpty() && region->workers == 0 &&
+            region->pendingFetches.empty()) {
+            terminateRegion(*region, RegionEndReason::Completed);
+        }
+    }
+
+    // Reap every finished region exactly once: detach any
+    // constructors still pointed at it (a region can be finished
+    // from within a constructor), remember it as recently
+    // completed, and account for the termination reason.
+    for (auto &region : regions_) {
+        if (region->state() != RegionState::Done || region->reaped)
+            continue;
+        region->reaped = true;
+        for (auto &constructor : constructors_) {
+            if (constructor.region() == region.get())
+                constructor.abandon();
+        }
+        stack_.markCompleted(region->startAddr());
+        switch (region->endReason()) {
+          case RegionEndReason::Completed:
+            ++stats_.regionsCompleted;
+            break;
+          case RegionEndReason::CaughtUp:
+            ++stats_.regionsCaughtUp;
+            break;
+          case RegionEndReason::PrefetchFull:
+            ++stats_.regionsPrefetchFull;
+            break;
+          case RegionEndReason::BuffersFull:
+            ++stats_.regionsBuffersFull;
+            break;
+          case RegionEndReason::Warm:
+            ++stats_.regionsWarm;
+            break;
+        }
+    }
+
+    // Free prefetch caches of finished regions (a region slot ==
+    // one prefetch cache). Keep regions with a fetch in flight
+    // until it drains.
+    std::erase_if(regions_, [](const std::unique_ptr<Region> &r) {
+        return r->state() == RegionState::Done && r->reaped &&
+               r->pendingFetches.empty();
+    });
+}
+
+void
+PreconstructionEngine::startRegion()
+{
+    while (regions_.size() < config_.numPrefetchCaches &&
+           !stack_.empty()) {
+        const StartPoint sp = stack_.pop();
+        if (!program_.contains(sp.addr))
+            continue;
+        regions_.push_back(std::make_unique<Region>(
+            nextRegionSeq_++, sp, config_.prefetchCacheInsts,
+            config_.policy));
+        ++stats_.regionsStarted;
+    }
+}
+
+void
+PreconstructionEngine::tickOneCycle(bool icachePortFree)
+{
+    ++now_;
+    completeFetches();
+    retireRegions();
+    startRegion();
+    if (icachePortFree)
+        issueFetch();
+    assignConstructors();
+    for (auto &constructor : constructors_) {
+        if (!constructor.idle())
+            constructor.tick(config_.constructorInstsPerCycle,
+                             *this);
+    }
+}
+
+void
+PreconstructionEngine::tick(Cycle cycles, bool icachePortFree)
+{
+    // Fast path: absolutely nothing to do.
+    if (regions_.empty() && stack_.empty()) {
+        now_ += cycles;
+        return;
+    }
+    for (Cycle i = 0; i < cycles; ++i) {
+        tickOneCycle(icachePortFree);
+        if (regions_.empty() && stack_.empty()) {
+            now_ += cycles - i - 1;
+            return;
+        }
+    }
+}
+
+void
+PreconstructionEngine::clear()
+{
+    for (auto &constructor : constructors_)
+        constructor.abandon();
+    regions_.clear();
+    buffers_.clear();
+    stack_.clear();
+    stats_ = Stats();
+    now_ = 0;
+}
+
+} // namespace tpre

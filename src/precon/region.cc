@@ -1,0 +1,80 @@
+#include "precon/region.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+Region::Region(std::uint64_t seq, StartPoint origin,
+               unsigned prefetchCapacity, const PreconPolicy &policy)
+    : seq_(seq), origin_(origin), policy_(policy),
+      prefetch_(prefetchCapacity)
+{
+    addStartPoint(origin.addr);
+    if (origin.kind == StartPointKind::LoopExit) {
+        // Seed the alignment grid past a loop exit so that one of
+        // the generated trace sequences matches wherever the
+        // processor's trace crossing the exit happened to end.
+        const unsigned granule =
+            policy_.selection.alignGranule
+                ? policy_.selection.alignGranule
+                : 4;
+        for (unsigned j = 1; j < policy_.loopExitAlignSeeds; ++j)
+            addStartPoint(origin.addr + j * granule * instBytes);
+    }
+}
+
+void
+Region::addStartPoint(Addr addr)
+{
+    if (addr == invalidAddr || state_ != RegionState::Active)
+        return;
+    if (seenStarts_.count(addr))
+        return;
+    if (worklist_.size() >= policy_.worklistMax)
+        return;
+    seenStarts_.insert(addr);
+    worklist_.push_back(addr);
+}
+
+Addr
+Region::takeStartPoint()
+{
+    tpre_assert(!worklist_.empty());
+    const Addr addr = worklist_.front();
+    worklist_.erase(worklist_.begin());
+    return addr;
+}
+
+void
+Region::finish(RegionEndReason reason)
+{
+    if (state_ == RegionState::Done)
+        return;
+    state_ = RegionState::Done;
+    endReason_ = reason;
+    worklist_.clear();
+    neededLines.clear();
+}
+
+bool
+Region::hasPending(Addr line) const
+{
+    return std::any_of(pendingFetches.begin(), pendingFetches.end(),
+                       [line](const PendingFetch &pf) {
+                           return pf.line == line;
+                       });
+}
+
+void
+Region::noteNeededLine(Addr line)
+{
+    if (std::find(neededLines.begin(), neededLines.end(), line) ==
+        neededLines.end()) {
+        neededLines.push_back(line);
+    }
+}
+
+} // namespace tpre

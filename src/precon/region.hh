@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Region: one active preconstruction region — a start point, the
+ * prefetch cache holding its fetched static instructions, and the
+ * small worklist of trace start points that directs breadth-first
+ * traversal of the region's dynamic execution tree (Section 2.1).
+ */
+
+#ifndef TPRE_PRECON_REGION_HH
+#define TPRE_PRECON_REGION_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "cache/prefetch_cache.hh"
+#include "precon/start_point_stack.hh"
+#include "trace/selector.hh"
+
+namespace tpre
+{
+
+/** Tunables of the preconstruction mechanism (Section 3). */
+struct PreconPolicy
+{
+    /** Trace start points a region worklist can hold. */
+    unsigned worklistMax = 8;
+    /** Internal decision-stack depth of each trace constructor. */
+    unsigned decisionDepth = 4;
+    /** Cap on traces generated from one trace start point. */
+    unsigned maxTracesPerStart = 6;
+    /**
+     * For loop-exit regions, additionally seed start points at
+     * +4, +8, ... instructions so one of them meets the
+     * processor's multiple-of-4 trace ending (Section 2.2); 1
+     * seeds only the exit itself.
+     */
+    unsigned loopExitAlignSeeds = 4;
+    /** Depth of the constructor's intra-path call stack. */
+    unsigned callStackDepth = 8;
+    /** Shared trace-selection rules (must match the fill unit). */
+    SelectionPolicy selection;
+};
+
+/** Lifecycle of a region. */
+enum class RegionState : std::uint8_t
+{
+    Active,
+    /** Terminated: catch-up, resource bound, or work exhausted. */
+    Done,
+};
+
+/** Why a region ended (stats). */
+enum class RegionEndReason : std::uint8_t
+{
+    Completed,     ///< worklist drained
+    CaughtUp,      ///< processor reached the region start
+    PrefetchFull,  ///< prefetch cache filled up
+    BuffersFull,   ///< preconstruction buffers refused a trace
+    Warm,          ///< leading traces all already in the trace cache
+};
+
+/** One active preconstruction region. */
+class Region
+{
+  public:
+    /**
+     * @param seq Monotonically increasing region id; also the
+     *        replacement priority in the preconstruction buffers.
+     * @param origin The start point that spawned the region.
+     * @param prefetchCapacity Prefetch cache capacity in insts.
+     */
+    Region(std::uint64_t seq, StartPoint origin,
+           unsigned prefetchCapacity, const PreconPolicy &policy);
+
+    std::uint64_t seq() const { return seq_; }
+    Addr startAddr() const { return origin_.addr; }
+    StartPointKind kind() const { return origin_.kind; }
+
+    PrefetchCache &prefetch() { return prefetch_; }
+
+    /**
+     * Offer a new trace start point (deduplicated against
+     * everything this region has already seen; bounded worklist).
+     */
+    void addStartPoint(Addr addr);
+
+    /** Any trace start points waiting? */
+    bool worklistEmpty() const { return worklist_.empty(); }
+
+    /** Take the next trace start point (FIFO: breadth-first). */
+    Addr takeStartPoint();
+
+    RegionState state() const { return state_; }
+    void finish(RegionEndReason reason);
+    RegionEndReason endReason() const { return endReason_; }
+
+    /** Constructors currently working on this region. */
+    unsigned workers = 0;
+
+    /** Outstanding I-cache line fills (non-blocking cache). */
+    struct PendingFetch
+    {
+        Addr line = invalidAddr;
+        Cycle readyAt = 0;
+    };
+    std::vector<PendingFetch> pendingFetches;
+
+    bool hasPending(Addr line) const;
+
+    /** Lines the constructors are stalled on (deduplicated). */
+    std::vector<Addr> neededLines;
+
+    void noteNeededLine(Addr line);
+
+    /** Stats: traces this region put into the buffers. */
+    std::uint64_t tracesConstructed = 0;
+
+    /** Engine bookkeeping: termination already accounted for. */
+    bool reaped = false;
+
+    /** Traces the buffers refused (resource-bound detection). */
+    unsigned bufferRefusals = 0;
+    /** Consecutive leading traces found already in the TC. */
+    unsigned leadingWarmTraces = 0;
+    /** Total traces emitted (warm or buffered). */
+    unsigned tracesEmitted = 0;
+
+  private:
+    std::uint64_t seq_;
+    StartPoint origin_;
+    PreconPolicy policy_;
+    PrefetchCache prefetch_;
+    std::vector<Addr> worklist_;
+    std::unordered_set<Addr> seenStarts_;
+    RegionState state_ = RegionState::Active;
+    RegionEndReason endReason_ = RegionEndReason::Completed;
+};
+
+} // namespace tpre
+
+#endif // TPRE_PRECON_REGION_HH

@@ -1,0 +1,107 @@
+#include "precon/start_point_stack.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+StartPointStack::StartPointStack(unsigned depth,
+                                 unsigned completedSlots)
+    : depth_(depth), completedSlots_(completedSlots)
+{
+    tpre_assert(depth >= 1);
+    stack_.reserve(depth);
+    completed_.reserve(completedSlots);
+}
+
+bool
+StartPointStack::push(Addr addr, StartPointKind kind)
+{
+    tpre_assert(addr != invalidAddr);
+
+    // Redundancy filters (Section 3.2): skip if the region is
+    // already anywhere on the stack (a loop closing branch is seen
+    // on every iteration) or was completed recently.
+    if (contains(addr))
+        return false;
+    if (completedRecently(addr))
+        return false;
+
+    if (stack_.size() >= depth_)
+        stack_.erase(stack_.begin()); // discard the oldest
+    stack_.push_back({addr, kind});
+    return true;
+}
+
+StartPoint
+StartPointStack::pop()
+{
+    tpre_assert(!stack_.empty());
+    StartPoint sp = stack_.back();
+    stack_.pop_back();
+    return sp;
+}
+
+const StartPoint &
+StartPointStack::top() const
+{
+    tpre_assert(!stack_.empty());
+    return stack_.back();
+}
+
+void
+StartPointStack::removeReached(Addr addr)
+{
+    std::erase_if(stack_, [addr](const StartPoint &sp) {
+        return sp.addr == addr;
+    });
+}
+
+void
+StartPointStack::removeMisspeculated(const std::vector<Addr> &addrs)
+{
+    std::erase_if(stack_, [&addrs](const StartPoint &sp) {
+        return std::find(addrs.begin(), addrs.end(), sp.addr) !=
+               addrs.end();
+    });
+}
+
+bool
+StartPointStack::contains(Addr addr) const
+{
+    return std::any_of(stack_.begin(), stack_.end(),
+                       [addr](const StartPoint &sp) {
+                           return sp.addr == addr;
+                       });
+}
+
+void
+StartPointStack::markCompleted(Addr addr)
+{
+    if (completedSlots_ == 0)
+        return;
+    auto it = std::find(completed_.begin(), completed_.end(), addr);
+    if (it != completed_.end())
+        completed_.erase(it);
+    if (completed_.size() >= completedSlots_)
+        completed_.erase(completed_.begin());
+    completed_.push_back(addr);
+}
+
+bool
+StartPointStack::completedRecently(Addr addr) const
+{
+    return std::find(completed_.begin(), completed_.end(), addr) !=
+           completed_.end();
+}
+
+void
+StartPointStack::clear()
+{
+    stack_.clear();
+    completed_.clear();
+}
+
+} // namespace tpre

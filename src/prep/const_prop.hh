@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Constant propagation over a trace (one of the three Section 6
+ * preprocessing optimizations). Registers whose values are fully
+ * determined by immediates within the trace are tracked; any ALU
+ * instruction whose result is a known constant that fits a 16-bit
+ * immediate is rewritten as `addi rd, r0, value`, removing its
+ * input dependences.
+ */
+
+#ifndef TPRE_PREP_CONST_PROP_HH
+#define TPRE_PREP_CONST_PROP_HH
+
+#include "trace/trace.hh"
+
+namespace tpre
+{
+
+/**
+ * Run constant propagation in place.
+ * @return number of instructions rewritten.
+ */
+unsigned constantPropagate(Trace &trace);
+
+} // namespace tpre
+
+#endif // TPRE_PREP_CONST_PROP_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Fused-ALU targeting (the "new ALU" of Section 6): rewrites a
+ * dependent pair such as a shift feeding an add, or an add feeding
+ * an add-immediate, into a single Opcode::Fused operation
+ *   rd = (rs1 << sh1) + (rs2 << sh2) + imm
+ * executed in one cycle. The producer instruction is kept when its
+ * result is architecturally live, so the transformation is always
+ * functionally equivalent; the win is the shortened dependence
+ * chain through the consumer.
+ */
+
+#ifndef TPRE_PREP_FUSE_HH
+#define TPRE_PREP_FUSE_HH
+
+#include "trace/trace.hh"
+
+namespace tpre
+{
+
+/**
+ * Run fused-ALU rewriting in place.
+ * @return number of consumer instructions rewritten to Fused.
+ */
+unsigned fuseShiftAdds(Trace &trace);
+
+} // namespace tpre
+
+#endif // TPRE_PREP_FUSE_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Preprocessor: the trace preprocessing pipeline of Section 6 —
+ * constant propagation, fused-ALU targeting and intra-trace
+ * scheduling. Runs in the fill path (fill unit and preconstruction
+ * constructors), so trace-cache-resident traces are optimized
+ * while slow-path dispatch is not: the extended pipeline model.
+ */
+
+#ifndef TPRE_PREP_PREPROCESSOR_HH
+#define TPRE_PREP_PREPROCESSOR_HH
+
+#include "trace/trace.hh"
+
+namespace tpre
+{
+
+/** Which preprocessing passes to run. */
+struct PrepConfig
+{
+    bool constProp = true;
+    bool fuse = true;
+    bool schedule = true;
+};
+
+/** The trace preprocessing unit. */
+class Preprocessor
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t tracesProcessed = 0;
+        std::uint64_t constsPropagated = 0;
+        std::uint64_t opsFused = 0;
+        std::uint64_t instsMoved = 0;
+    };
+
+    explicit Preprocessor(PrepConfig config = {});
+
+    /** Transform a trace in place and mark it preprocessed. */
+    void process(Trace &trace);
+
+    const Stats &stats() const { return stats_; }
+    const PrepConfig &config() const { return config_; }
+
+  private:
+    PrepConfig config_;
+    Stats stats_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_PREP_PREPROCESSOR_HH

@@ -1,0 +1,153 @@
+#include "prep/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "prep/dataflow.hh"
+
+namespace tpre
+{
+
+namespace
+{
+
+/** Approximate execution latency used for scheduling heights. */
+unsigned
+schedLatency(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Mul: return 5;
+      case Opcode::Div: return 20;
+      case Opcode::Ld: return 2;
+      default: return 1;
+    }
+}
+
+/** Does instruction @p a depend on @p b (b must stay before a)? */
+bool
+dependsOn(const Instruction &a, const Instruction &b)
+{
+    // RAW: a reads b's destination.
+    if (b.writesReg()) {
+        if (a.numSources() >= 1 && a.rs1 == b.rd)
+            return true;
+        if (a.readsRs2() && a.rs2 == b.rd)
+            return true;
+    }
+    if (a.writesReg()) {
+        // WAW.
+        if (b.writesReg() && a.rd == b.rd)
+            return true;
+        // WAR: a overwrites a register b reads.
+        if (b.numSources() >= 1 && b.rs1 == a.rd)
+            return true;
+        if (b.readsRs2() && b.rs2 == a.rd)
+            return true;
+    }
+    // Memory operations stay mutually ordered (no static alias
+    // information inside a trace).
+    if ((a.isLoad() || a.isStore()) && (b.isLoad() || b.isStore()))
+        return true;
+    return false;
+}
+
+} // namespace
+
+unsigned
+scheduleTrace(Trace &trace)
+{
+    const std::size_t n = trace.insts.size();
+    if (n < 3)
+        return 0;
+
+    const TraceDataflow df(trace);
+    std::vector<TraceInst> result;
+    result.reserve(n);
+
+    unsigned moved = 0;
+    std::size_t seg_start = 0;
+    while (seg_start < n) {
+        // Find the segment [seg_start, seg_end): control
+        // instructions terminate segments and stay put.
+        std::size_t seg_end = seg_start;
+        while (seg_end < n &&
+               df.at(seg_end).segment == df.at(seg_start).segment) {
+            ++seg_end;
+        }
+        const bool ends_in_control =
+            trace.insts[seg_end - 1].inst.isControl();
+        const std::size_t body_end =
+            ends_in_control ? seg_end - 1 : seg_end;
+        const std::size_t body_len = body_end - seg_start;
+
+        if (body_len < 2) {
+            for (std::size_t i = seg_start; i < seg_end; ++i)
+                result.push_back(trace.insts[i]);
+            seg_start = seg_end;
+            continue;
+        }
+
+        // Local dependence graph over the segment body. The
+        // control instruction also constrains the body (its
+        // sources must not be overwritten), handled by keeping it
+        // last and adding WAR edges below.
+        std::vector<std::vector<std::size_t>> succs(body_len);
+        std::vector<unsigned> pending(body_len, 0);
+        for (std::size_t i = 0; i < body_len; ++i) {
+            for (std::size_t j = i + 1; j < body_len; ++j) {
+                if (dependsOn(trace.insts[seg_start + j].inst,
+                              trace.insts[seg_start + i].inst)) {
+                    succs[i].push_back(j);
+                    ++pending[j];
+                }
+            }
+        }
+        // The segment-ending control instruction must still read
+        // its sources correctly: forbid body instructions that
+        // write those sources from... they can reorder among
+        // themselves freely; only their order against the control
+        // op matters, and the control op stays last, after every
+        // writer, exactly as in program order. WAW among writers
+        // is already an edge, so the final value is preserved.
+
+        // Dependence heights (critical-path lengths).
+        std::vector<unsigned> height(body_len, 0);
+        for (std::size_t i = body_len; i-- > 0;) {
+            unsigned best = 0;
+            for (std::size_t j : succs[i])
+                best = std::max(best, height[j]);
+            height[i] = best + schedLatency(
+                trace.insts[seg_start + i].inst);
+        }
+
+        // Greedy list scheduling: repeatedly take the ready
+        // instruction with the greatest height (ties: original
+        // order, keeping the schedule stable).
+        std::vector<bool> done(body_len, false);
+        for (std::size_t picked = 0; picked < body_len; ++picked) {
+            std::size_t best = body_len;
+            for (std::size_t i = 0; i < body_len; ++i) {
+                if (done[i] || pending[i] > 0)
+                    continue;
+                if (best == body_len || height[i] > height[best])
+                    best = i;
+            }
+            tpre_assert(best < body_len, "scheduling deadlock");
+            done[best] = true;
+            for (std::size_t j : succs[best])
+                --pending[j];
+            if (best != picked)
+                ++moved;
+            result.push_back(trace.insts[seg_start + best]);
+        }
+        if (ends_in_control)
+            result.push_back(trace.insts[seg_end - 1]);
+        seg_start = seg_end;
+    }
+
+    tpre_assert(result.size() == n);
+    trace.insts = std::move(result);
+    return moved;
+}
+
+} // namespace tpre

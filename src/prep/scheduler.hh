@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Intra-trace instruction scheduling (Section 6). Reorders
+ * instructions within each basic-block segment of a trace by
+ * decreasing dependence height so that critical chains issue
+ * first. All register RAW/WAR/WAW dependences and the relative
+ * order of memory operations are preserved, and control
+ * instructions keep their (segment-ending) positions, so the
+ * scheduled trace is functionally identical.
+ */
+
+#ifndef TPRE_PREP_SCHEDULER_HH
+#define TPRE_PREP_SCHEDULER_HH
+
+#include "trace/trace.hh"
+
+namespace tpre
+{
+
+/**
+ * List-schedule the trace in place.
+ * @return number of instructions that moved.
+ */
+unsigned scheduleTrace(Trace &trace);
+
+} // namespace tpre
+
+#endif // TPRE_PREP_SCHEDULER_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SimConfig: one top-level knob set describing a whole experiment
+ * run — workload, simulation mode, frontend sizing, and the
+ * preconstruction / preprocessing switches — with conversion to
+ * the mode-specific configurations.
+ */
+
+#ifndef TPRE_SIM_CONFIG_HH
+#define TPRE_SIM_CONFIG_HH
+
+#include <string>
+
+#include "tproc/fast_sim.hh"
+#include "tproc/processor.hh"
+#include "workload/profile.hh"
+
+namespace tpre
+{
+
+/** Which simulation engine to use. */
+enum class SimMode : std::uint8_t
+{
+    /** Frontend-only (Figure 5, Tables 1-3). */
+    Fast,
+    /** Full timing (Figures 6, 8). */
+    Timing,
+};
+
+/** Top-level experiment configuration. */
+struct SimConfig
+{
+    /** SPECint95-like workload name (see specint95Names()). */
+    std::string benchmark = "gcc";
+    std::uint64_t workloadSeed = 7;
+    SimMode mode = SimMode::Fast;
+    InstCount maxInsts = 3'000'000;
+
+    std::size_t traceCacheEntries = 256;
+    /** 0 disables preconstruction entirely. */
+    std::size_t preconBufferEntries = 0;
+    bool prepEnabled = false;
+
+    SelectionPolicy selection;
+    /** Extra preconstruction knobs (ablations). */
+    PreconConfig precon;
+
+    /** Derived configuration for the fast frontend simulator. */
+    FastSimConfig toFastConfig() const;
+    /** Derived configuration for the timing simulator. */
+    ProcessorConfig toProcessorConfig() const;
+
+    /** Combined TC + buffer capacity in kilobytes (paper x-axis). */
+    double combinedKb() const;
+};
+
+} // namespace tpre
+
+#endif // TPRE_SIM_CONFIG_HH

@@ -1,0 +1,78 @@
+#include "sim/simulator.hh"
+
+namespace tpre
+{
+
+const GeneratedWorkload &
+Simulator::workload(const std::string &benchmark,
+                    std::uint64_t seed)
+{
+    auto key = std::make_pair(benchmark, seed);
+    auto it = workloads_.find(key);
+    if (it == workloads_.end()) {
+        WorkloadGenerator gen(specint95Profile(benchmark, seed));
+        it = workloads_
+                 .emplace(key, std::make_unique<GeneratedWorkload>(
+                                   gen.generate()))
+                 .first;
+    }
+    return *it->second;
+}
+
+SimResult
+Simulator::run(const SimConfig &config)
+{
+    const GeneratedWorkload &wl =
+        workload(config.benchmark, config.workloadSeed);
+
+    SimResult result;
+    result.config = config;
+
+    if (config.mode == SimMode::Fast) {
+        FastSim sim(wl.program, config.toFastConfig());
+        const FastSimStats &st = sim.run(config.maxInsts);
+        result.instructions = st.instructions;
+        result.cycles = st.cycles;
+        result.traces = st.traces;
+        result.tcMisses = st.tcMisses;
+        result.pbHits = st.pbHits;
+        result.missesPerKi = st.missesPerKiloInst();
+        const double ki =
+            static_cast<double>(st.instructions) / 1000.0;
+        if (ki > 0) {
+            result.icacheSupplyPerKi =
+                static_cast<double>(st.slowPathInsts) / ki;
+            result.icacheMissesPerKi =
+                static_cast<double>(st.icache.totalMisses()) / ki;
+            result.icacheMissSupplyPerKi =
+                static_cast<double>(st.slowPathInstsFromMisses) /
+                ki;
+        }
+        result.precon = st.precon;
+    } else {
+        TraceProcessor proc(wl.program,
+                            config.toProcessorConfig());
+        const ProcessorStats &st = proc.run(config.maxInsts);
+        result.instructions = st.instructions;
+        result.cycles = st.cycles;
+        result.ipc = st.ipc();
+        result.traces = st.traces;
+        result.tcMisses = st.tcMisses;
+        result.pbHits = st.pbHits;
+        const double ki =
+            static_cast<double>(st.instructions) / 1000.0;
+        if (ki > 0) {
+            result.missesPerKi =
+                static_cast<double>(st.tcMisses) / ki;
+            result.icacheSupplyPerKi =
+                static_cast<double>(st.slowPathInsts) / ki;
+            result.icacheMissesPerKi =
+                static_cast<double>(st.icache.totalMisses()) / ki;
+        }
+        result.precon = st.precon;
+        result.prep = st.prep;
+    }
+    return result;
+}
+
+} // namespace tpre

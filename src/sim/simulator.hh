@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulator: the library's top-level facade. Give it a SimConfig,
+ * get back a SimResult with the paper's metrics. Generated
+ * workloads are cached per (benchmark, seed) so sweeps do not
+ * regenerate programs.
+ */
+
+#ifndef TPRE_SIM_SIMULATOR_HH
+#define TPRE_SIM_SIMULATOR_HH
+
+#include <map>
+#include <memory>
+
+#include "sim/config.hh"
+#include "workload/generator.hh"
+
+namespace tpre
+{
+
+/** Unified result record across simulation modes. */
+struct SimResult
+{
+    SimConfig config;
+    InstCount instructions = 0;
+    Cycle cycles = 0;
+    double ipc = 0.0;
+    /** Trace-cache (+ buffers) misses per 1000 instructions. */
+    double missesPerKi = 0.0;
+    std::uint64_t traces = 0;
+    std::uint64_t tcMisses = 0;
+    std::uint64_t pbHits = 0;
+    /** Instructions supplied by the I-cache per 1000 (Table 1). */
+    double icacheSupplyPerKi = 0.0;
+    /** I-cache misses per 1000 instructions (Table 2). */
+    double icacheMissesPerKi = 0.0;
+    /** Instructions supplied by I-cache misses per 1000 (Table 3). */
+    double icacheMissSupplyPerKi = 0.0;
+    PreconstructionEngine::Stats precon;
+    Preprocessor::Stats prep;
+};
+
+/**
+ * Runs experiments, caching generated workloads. Thread-compatible
+ * (not thread-safe); typically one per benchmark binary.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Run one experiment configuration. */
+    SimResult run(const SimConfig &config);
+
+    /** Access (and cache) the workload for a config. */
+    const GeneratedWorkload &workload(const std::string &benchmark,
+                                      std::uint64_t seed);
+
+  private:
+    std::map<std::pair<std::string, std::uint64_t>,
+             std::unique_ptr<GeneratedWorkload>>
+        workloads_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_SIM_SIMULATOR_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Parameter-sweep helpers shared by the benchmark harnesses:
+ * build the paper's standard configuration grids and run them
+ * through a Simulator.
+ */
+
+#ifndef TPRE_SIM_SWEEP_HH
+#define TPRE_SIM_SWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace tpre
+{
+
+/** A (trace cache entries, preconstruction buffer entries) point. */
+struct SizePoint
+{
+    std::size_t tcEntries;
+    std::size_t pbEntries;
+};
+
+/**
+ * The Figure 5 grid: baseline trace caches of 64..1024 entries and
+ * equal-split preconstruction configurations at each combined size.
+ */
+std::vector<SizePoint> figure5Grid();
+
+/** Run one benchmark over a set of size points. */
+std::vector<SimResult>
+runSweep(Simulator &sim, const SimConfig &base,
+         const std::vector<SizePoint> &points,
+         const std::function<void(const SimResult &)> &onResult =
+             nullptr);
+
+} // namespace tpre
+
+#endif // TPRE_SIM_SWEEP_HH

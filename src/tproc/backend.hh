@@ -1,0 +1,173 @@
+/**
+ * @file
+ * TimingBackend: the distributed trace-processor execution engine
+ * of Section 4.1 — four processing elements, each holding one
+ * 16-instruction trace with 2-way issue, eight global result buses
+ * with an extra cycle of cross-PE latency, a 4-ported non-blocking
+ * L1 data cache (2-cycle hit, perfect 10-cycle L2) and R10000-like
+ * operation latencies. Memory disambiguation is ideal, standing in
+ * for the ARB.
+ *
+ * The backend executes the *actual* dynamic instructions (oracle
+ * functional stream) with dependence-accurate timing; control
+ * misprediction is modeled by the frontend as fetch stalls until
+ * the resolving instruction's completion time, which the backend
+ * exposes per instruction.
+ */
+
+#ifndef TPRE_TPROC_BACKEND_HH
+#define TPRE_TPROC_BACKEND_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "cache/set_assoc.hh"
+#include "func/core.hh"
+#include "trace/trace.hh"
+
+namespace tpre
+{
+
+/** Backend configuration; defaults match the paper's Section 4.1. */
+struct BackendConfig
+{
+    unsigned numPes = 4;
+    unsigned issuePerPe = 2;
+    /**
+     * PEs issue in program order within their trace (stalling at
+     * the first non-ready instruction). This is what makes the
+     * preprocessing pipeline's intra-trace scheduling valuable;
+     * set false for an out-of-order-PE ablation.
+     */
+    bool inOrderPe = true;
+    unsigned resultBuses = 8;
+    /** Extra cycles for a result to cross PEs via a bus. */
+    unsigned crossPeLatency = 2;
+    unsigned dcachePorts = 4;
+    unsigned dcachePortsPerPe = 2;
+    CacheGeometry dcacheGeometry{64 * 1024, 4, lineBytes};
+    Cycle dcacheHitLatency = 2;
+    Cycle dcacheMissLatency = 10;
+    Cycle mulLatency = 5;
+    Cycle divLatency = 20;
+};
+
+/** The trace-processor execution engine. */
+class TimingBackend
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t instsIssued = 0;
+        std::uint64_t dcacheAccesses = 0;
+        std::uint64_t dcacheMisses = 0;
+        std::uint64_t busTransfers = 0;
+        std::uint64_t busStalls = 0;
+    };
+
+    explicit TimingBackend(BackendConfig config = {});
+
+    /** Is a processing element free for dispatch? */
+    bool hasFreePe() const;
+
+    /**
+     * Dispatch a trace into a free PE at cycle @p now. @p dyn are
+     * the matching dynamic records in *original* program order
+     * (TraceInst::srcPos indexes into them).
+     *
+     * @return a handle identifying the in-flight trace.
+     */
+    std::uint64_t dispatch(const Trace &trace,
+                           const std::vector<DynInst> &dyn,
+                           Cycle now);
+
+    /** Advance execution by one cycle. */
+    void tick(Cycle now);
+
+    /** Is the oldest in-flight trace fully executed? */
+    bool headDone() const;
+    /**
+     * Cycle at which the oldest trace's last instruction
+     * completes; noCompletion while any instruction is unissued.
+     */
+    Cycle headCompletionTime() const;
+    /** Handle of the oldest in-flight trace (must exist). */
+    std::uint64_t headHandle() const;
+    /** Retire the oldest trace, freeing its PE. */
+    void retireHead();
+
+    bool empty() const { return inflight_.empty(); }
+    std::size_t inflightTraces() const { return inflight_.size(); }
+
+    /**
+     * Completion cycle of instruction @p idx (position in the
+     * *dispatched* trace) of in-flight or just-retired trace
+     * @p handle; invalid (not yet known) completions return
+     * noCompletion.
+     */
+    static constexpr Cycle noCompletion = ~static_cast<Cycle>(0);
+    Cycle completionOf(std::uint64_t handle, unsigned idx) const;
+
+    /**
+     * Impose an extra not-before constraint on instruction issue
+     * (used by the frontend for post-misprediction refetch of a
+     * trace suffix).
+     */
+    void delayInst(std::uint64_t handle, unsigned idx, Cycle notBefore);
+
+    const Stats &stats() const { return stats_; }
+    const BackendConfig &config() const { return config_; }
+
+  private:
+    /** Producer info for register values. */
+    struct WriterInfo
+    {
+        std::uint64_t handle = 0;
+        unsigned idx = 0;
+        unsigned pe = 0;
+        bool valid = false;
+    };
+
+    struct InflightInst
+    {
+        Instruction inst;
+        Addr effAddr = 0;
+        /** In-flight producers of rs1/rs2 at dispatch time. */
+        WriterInfo producers[2];
+        Cycle notBefore = 0;    ///< frontend-imposed constraint
+        Cycle completion = noCompletion;
+        bool issued = false;
+    };
+
+    struct InflightTrace
+    {
+        std::uint64_t handle = 0;
+        unsigned pe = 0;
+        Cycle dispatched = 0;
+        std::vector<InflightInst> insts;
+        unsigned remaining = 0;
+    };
+
+    InflightTrace *findTrace(std::uint64_t handle);
+    const InflightTrace *findTrace(std::uint64_t handle) const;
+    /** Completion cycle of a producer; 0 when long retired. */
+    Cycle producerCompletion(const WriterInfo &writer) const;
+
+    BackendConfig config_;
+    SetAssocCache dcache_;
+    std::deque<InflightTrace> inflight_;
+    /** Completion times of recently retired traces (bounded). */
+    std::deque<InflightTrace> retired_;
+    std::array<WriterInfo, numArchRegs> lastWriter_;
+    std::vector<bool> peBusy_;
+    std::uint64_t nextHandle_ = 1;
+    /** Result-bus usage per cycle (small ring buffer). */
+    std::array<unsigned, 64> busUse_ = {};
+    Cycle busRingBase_ = 0;
+    Stats stats_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_TPROC_BACKEND_HH

@@ -1,0 +1,164 @@
+#include "tproc/fast_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+FastSim::FastSim(const Program &program, FastSimConfig config)
+    : program_(program), config_(config), core_(program),
+      traceCache_(config.traceCacheEntries, config.traceCacheAssoc),
+      icache_(config.icache), segmenter_(config.selection)
+{
+    if (config_.preconEnabled) {
+        config_.precon.policy.selection = config_.selection;
+        engine_ = std::make_unique<PreconstructionEngine>(
+            program_, icache_, bimodal_, traceCache_,
+            config_.precon);
+        if (config_.diagnostics)
+            engine_->enableDiagLog();
+    }
+}
+
+FastSim::~FastSim() = default;
+
+void
+FastSim::processTrace(const std::vector<DynInst> &window,
+                      Trace &&trace)
+{
+    ++stats_.traces;
+    stats_.instructions += trace.len();
+
+    bool first_seen = false;
+    if (config_.trackTraceWorkingSet || config_.diagnostics) {
+        first_seen = seenTraces_.insert(trace.id.hash()).second;
+        if (first_seen)
+            ++stats_.traceWorkingSet;
+    }
+
+    bool hit = traceCache_.lookup(trace.id) != nullptr;
+    bool pb_hit = false;
+    if (!hit && engine_) {
+        const Trace *buffered = engine_->lookupBuffer(trace.id);
+        if (buffered) {
+            // Copy the preconstructed trace into the trace cache
+            // and free the buffer entry (Section 3.1).
+            traceCache_.insert(*buffered);
+            engine_->consumeHit(trace.id);
+            pb_hit = true;
+        }
+    }
+
+    Cycle trace_cycles = 0;
+    bool slow_path_busy = false;
+
+    if (hit || pb_hit) {
+        // Dispatch takes one cycle; the backend drains the trace
+        // at the assumed retire rate.
+        trace_cycles = std::max<Cycle>(
+            1, static_cast<Cycle>(trace.len() / config_.assumedIpc));
+        if (hit)
+            ++stats_.tcHits;
+        else
+            ++stats_.pbHits;
+    } else {
+        ++stats_.tcMisses;
+        if (config_.diagnostics) {
+            if (first_seen)
+                ++stats_.missFirstSeen;
+            else
+                ++stats_.missRepeat;
+            if (everBuffered_.count(trace.id.hash()))
+                ++stats_.missEverConstructed;
+        }
+        slow_path_busy = true;
+
+        // Slow path: fetch the trace's instructions through the
+        // I-cache at slowFetchWidth per cycle, stalling for L2 on
+        // line misses, while the fill unit assembles the trace.
+        trace_cycles =
+            (trace.len() + config_.slowFetchWidth - 1) /
+            config_.slowFetchWidth;
+        Addr cur_line = invalidAddr;
+        unsigned insts_on_line = 0;
+        bool line_missed = false;
+        for (const TraceInst &ti : trace.insts) {
+            const Addr line = icache_.lineAddr(ti.pc);
+            if (line != cur_line) {
+                if (cur_line != invalidAddr && line_missed)
+                    stats_.slowPathInstsFromMisses += insts_on_line;
+                const ICache::AccessResult res =
+                    icache_.fetchLine(line, false);
+                if (!res.hit)
+                    trace_cycles += res.latency;
+                cur_line = line;
+                line_missed = !res.hit;
+                insts_on_line = 0;
+            }
+            ++insts_on_line;
+        }
+        if (cur_line != invalidAddr && line_missed)
+            stats_.slowPathInstsFromMisses += insts_on_line;
+        stats_.slowPathInsts += trace.len();
+
+        traceCache_.insert(trace);
+    }
+
+    stats_.cycles += trace_cycles;
+
+    // Train the slow-path branch predictor on the committed
+    // outcomes and feed the dispatch-stream monitor.
+    for (const DynInst &dyn : window) {
+        if (dyn.inst.isCondBranch())
+            bimodal_.update(dyn.pc, dyn.taken);
+        if (engine_)
+            engine_->observeDispatch(dyn);
+    }
+
+    if (engine_) {
+        engine_->tick(trace_cycles, !slow_path_busy);
+        if (config_.diagnostics) {
+            for (const TraceId &id : engine_->drainBufferedLog())
+                everBuffered_.insert(id.hash());
+        }
+    }
+}
+
+std::pair<std::size_t, std::size_t>
+FastSim::bufferedSeenIntersection() const
+{
+    std::size_t both = 0;
+    for (std::uint64_t h : everBuffered_)
+        both += seenTraces_.count(h);
+    return {both, everBuffered_.size()};
+}
+
+const FastSimStats &
+FastSim::run(InstCount maxInsts)
+{
+    std::vector<DynInst> window;
+    window.reserve(maxTraceLen);
+
+    while (!core_.halted() && stats_.instructions < maxInsts) {
+        const DynInst &dyn = core_.step();
+        window.push_back(dyn);
+        if (auto trace = segmenter_.feed(dyn)) {
+            processTrace(window, std::move(*trace));
+            window.clear();
+        }
+    }
+
+    if (auto trace = segmenter_.flush()) {
+        processTrace(window, std::move(*trace));
+        window.clear();
+    }
+
+    stats_.icache = icache_.stats();
+    if (engine_)
+        stats_.precon = engine_->stats();
+    return stats_;
+}
+
+} // namespace tpre

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * FastSim: the frontend-only simulation mode (DESIGN.md section 5).
+ * The committed dynamic stream is segmented into traces by the
+ * shared selection rules; each trace probes the trace cache and the
+ * preconstruction buffers, misses engage the slow path (I-cache
+ * fetch + fill unit), and the preconstruction engine runs in the
+ * cycles the slow path leaves idle. Backend timing is a fixed
+ * dispatch-rate model, which is sufficient for the paper's
+ * miss-rate results (Figure 5) and I-cache results (Tables 1-3).
+ */
+
+#ifndef TPRE_TPROC_FAST_SIM_HH
+#define TPRE_TPROC_FAST_SIM_HH
+
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "bpred/bimodal.hh"
+#include "cache/icache.hh"
+#include "func/core.hh"
+#include "precon/engine.hh"
+#include "trace/fill_unit.hh"
+#include "trace/trace_cache.hh"
+
+namespace tpre
+{
+
+/** Configuration of a fast frontend simulation. */
+struct FastSimConfig
+{
+    std::size_t traceCacheEntries = 256;
+    unsigned traceCacheAssoc = 2;
+    ICacheConfig icache;
+    SelectionPolicy selection;
+    /** Slow-path fetch bandwidth (instructions per cycle). */
+    unsigned slowFetchWidth = 4;
+    /**
+     * Effective retire rate (instructions/cycle) used to advance
+     * simulated time on trace-cache hits. The paper's execution
+     * engine is 8-wide with realistic IPC well below trace width;
+     * this sets how much wall-clock the preconstruction engine
+     * gets per dispatched trace.
+     */
+    double assumedIpc = 4.0;
+    /** Enable the preconstruction mechanism. */
+    bool preconEnabled = false;
+    PreconConfig precon;
+    /** Track the number of distinct trace identities seen. */
+    bool trackTraceWorkingSet = false;
+    /** Extra (slower) miss-classification diagnostics. */
+    bool diagnostics = false;
+};
+
+/** Results of a fast frontend simulation. */
+struct FastSimStats
+{
+    InstCount instructions = 0;
+    Cycle cycles = 0;
+    std::uint64_t traces = 0;
+    std::uint64_t tcHits = 0;
+    /** Hits served from a preconstruction buffer (copied to TC). */
+    std::uint64_t pbHits = 0;
+    /** Misses of the combined TC + preconstruction buffers. */
+    std::uint64_t tcMisses = 0;
+    /** Instructions supplied by the I-cache (Table 1). */
+    std::uint64_t slowPathInsts = 0;
+    /** Instructions supplied by I-cache *misses* (Table 3). */
+    std::uint64_t slowPathInstsFromMisses = 0;
+    ICache::Stats icache;
+    PreconstructionEngine::Stats precon;
+    /** Distinct trace identities (when tracking is enabled). */
+    std::uint64_t traceWorkingSet = 0;
+    /** Diagnostics: misses on never-before-dispatched trace ids. */
+    std::uint64_t missFirstSeen = 0;
+    /** Diagnostics: misses on previously dispatched ids. */
+    std::uint64_t missRepeat = 0;
+    /** Diagnostics: misses whose id preconstruction had built at
+     *  some earlier point (so it was lost to churn, not never
+     *  constructed). */
+    std::uint64_t missEverConstructed = 0;
+
+    /** The paper's favourite unit. */
+    double missesPerKiloInst() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(tcMisses) /
+                         static_cast<double>(instructions);
+    }
+};
+
+/** Frontend-only trace processor simulation. */
+class FastSim
+{
+  public:
+    FastSim(const Program &program, FastSimConfig config = {});
+    ~FastSim();
+
+    /**
+     * Run until @p maxInsts instructions commit or the program
+     * halts; returns the collected statistics.
+     */
+    const FastSimStats &run(InstCount maxInsts);
+
+    const FastSimStats &stats() const { return stats_; }
+
+    /** Diagnostics: {|buffered ∩ dispatched|, |buffered|}. */
+    std::pair<std::size_t, std::size_t>
+    bufferedSeenIntersection() const;
+    const TraceCache &traceCache() const { return traceCache_; }
+    const PreconstructionEngine *engine() const
+    { return engine_.get(); }
+
+  private:
+    void processTrace(const std::vector<DynInst> &window,
+                      Trace &&trace);
+
+    const Program &program_;
+    FastSimConfig config_;
+    FunctionalCore core_;
+    TraceCache traceCache_;
+    ICache icache_;
+    BimodalPredictor bimodal_;
+    FillUnit segmenter_;
+    std::unique_ptr<PreconstructionEngine> engine_;
+    std::unordered_set<std::uint64_t> seenTraces_;
+    std::unordered_set<std::uint64_t> everBuffered_;
+    FastSimStats stats_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_TPROC_FAST_SIM_HH

@@ -1,0 +1,104 @@
+#include "tproc/partition_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+PartitionSim::PartitionSim(const Program &program,
+                           PartitionSimConfig config)
+    : program_(program), config_(config), core_(program),
+      cache_(config.totalEntries, config.assoc, config.preconWays),
+      icache_(config.icache), segmenter_(config.selection),
+      dummyPrimary_(2, 2)
+{
+    config_.precon.policy.selection = config_.selection;
+    engine_ = std::make_unique<PreconstructionEngine>(
+        program_, icache_, bimodal_, dummyPrimary_,
+        config_.precon);
+    engine_->setExternalStore(&cache_, [this](const TraceId &id) {
+        return cache_.demandContains(id);
+    });
+    if (config_.adaptive) {
+        controller_ = std::make_unique<AdaptivePartitioner>(
+            cache_, config_.controller);
+    }
+}
+
+PartitionSim::~PartitionSim() = default;
+
+void
+PartitionSim::processTrace(const std::vector<DynInst> &window,
+                           Trace &&trace)
+{
+    ++stats_.traces;
+    stats_.instructions += trace.len();
+
+    const UnifiedTraceCache::LookupResult hit =
+        cache_.lookupDemand(trace.id);
+
+    Cycle trace_cycles;
+    bool slow_path_busy = false;
+    if (hit.trace) {
+        if (hit.fromPrecon)
+            ++stats_.preconHits;
+        else
+            ++stats_.demandHits;
+        trace_cycles = std::max<Cycle>(
+            1, static_cast<Cycle>(trace.len() /
+                                  config_.assumedIpc));
+    } else {
+        ++stats_.misses;
+        slow_path_busy = true;
+        trace_cycles = (trace.len() + config_.slowFetchWidth - 1) /
+                       config_.slowFetchWidth;
+        Addr cur_line = invalidAddr;
+        for (const TraceInst &ti : trace.insts) {
+            const Addr line = icache_.lineAddr(ti.pc);
+            if (line != cur_line) {
+                const ICache::AccessResult res =
+                    icache_.fetchLine(line, false);
+                if (!res.hit)
+                    trace_cycles += res.latency;
+                cur_line = line;
+            }
+        }
+        cache_.insertDemand(trace);
+    }
+
+    if (controller_)
+        controller_->observe(hit.trace && !hit.fromPrecon,
+                             hit.fromPrecon);
+
+    stats_.cycles += trace_cycles;
+    for (const DynInst &dyn : window) {
+        if (dyn.inst.isCondBranch())
+            bimodal_.update(dyn.pc, dyn.taken);
+        engine_->observeDispatch(dyn);
+    }
+    engine_->tick(trace_cycles, !slow_path_busy);
+}
+
+const PartitionSimStats &
+PartitionSim::run(InstCount maxInsts)
+{
+    std::vector<DynInst> window;
+    window.reserve(maxTraceLen);
+    while (!core_.halted() && stats_.instructions < maxInsts) {
+        const DynInst &dyn = core_.step();
+        window.push_back(dyn);
+        if (auto trace = segmenter_.feed(dyn)) {
+            processTrace(window, std::move(*trace));
+            window.clear();
+        }
+    }
+    stats_.precon = engine_->stats();
+    stats_.finalPreconWays = cache_.preconWays();
+    if (controller_)
+        stats_.partitionAdjustments = controller_->adjustments();
+    return stats_;
+}
+
+} // namespace tpre

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * PartitionSim: the frontend-only simulation (like FastSim) built
+ * on a single UnifiedTraceCache whose storage is shared between
+ * demand traces and preconstructed traces — statically or with the
+ * adaptive partition controller. Implements the "dynamically
+ * allocate space for the preconstruction buffer" design the paper
+ * suggests in Section 5.1.
+ */
+
+#ifndef TPRE_TPROC_PARTITION_SIM_HH
+#define TPRE_TPROC_PARTITION_SIM_HH
+
+#include <memory>
+
+#include "bpred/bimodal.hh"
+#include "cache/icache.hh"
+#include "func/core.hh"
+#include "precon/engine.hh"
+#include "trace/fill_unit.hh"
+#include "trace/unified_cache.hh"
+
+namespace tpre
+{
+
+/** Configuration of a unified-storage frontend simulation. */
+struct PartitionSimConfig
+{
+    /** Total trace entries shared by both partitions. */
+    std::size_t totalEntries = 512;
+    unsigned assoc = 4;
+    /** Initial ways per set reserved for preconstruction. */
+    unsigned preconWays = 1;
+    /** Enable the hill-climbing partition controller. */
+    bool adaptive = false;
+    AdaptivePartitioner::Config controller;
+    ICacheConfig icache;
+    SelectionPolicy selection;
+    unsigned slowFetchWidth = 4;
+    double assumedIpc = 4.0;
+    PreconConfig precon;
+};
+
+/** Results of a unified-storage simulation. */
+struct PartitionSimStats
+{
+    InstCount instructions = 0;
+    Cycle cycles = 0;
+    std::uint64_t traces = 0;
+    std::uint64_t demandHits = 0;
+    std::uint64_t preconHits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t partitionAdjustments = 0;
+    unsigned finalPreconWays = 0;
+    PreconstructionEngine::Stats precon;
+
+    double
+    missesPerKiloInst() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(misses) /
+                         static_cast<double>(instructions);
+    }
+};
+
+/** Frontend simulation over a unified, partitioned trace store. */
+class PartitionSim
+{
+  public:
+    PartitionSim(const Program &program,
+                 PartitionSimConfig config = {});
+    ~PartitionSim();
+
+    const PartitionSimStats &run(InstCount maxInsts);
+
+    const UnifiedTraceCache &cache() const { return cache_; }
+
+  private:
+    void processTrace(const std::vector<DynInst> &window,
+                      Trace &&trace);
+
+    const Program &program_;
+    PartitionSimConfig config_;
+    FunctionalCore core_;
+    UnifiedTraceCache cache_;
+    ICache icache_;
+    BimodalPredictor bimodal_;
+    FillUnit segmenter_;
+    std::unique_ptr<PreconstructionEngine> engine_;
+    std::unique_ptr<AdaptivePartitioner> controller_;
+    /** Dummy primary cache handed to the engine (unused paths). */
+    TraceCache dummyPrimary_;
+    PartitionSimStats stats_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_TPROC_PARTITION_SIM_HH

@@ -1,0 +1,325 @@
+#include "tproc/processor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+TraceProcessor::TraceProcessor(const Program &program,
+                               ProcessorConfig config)
+    : program_(program), config_(config), core_(program),
+      traceCache_(config.traceCacheEntries, config.traceCacheAssoc),
+      icache_(config.icache), ntp_(config.ntp),
+      segmenter_(config.selection), backend_(config.backend)
+{
+    if (config_.preconEnabled) {
+        config_.precon.policy.selection = config_.selection;
+        engine_ = std::make_unique<PreconstructionEngine>(
+            program_, icache_, bimodal_, traceCache_,
+            config_.precon);
+    }
+    if (config_.prepEnabled)
+        prep_ = std::make_unique<Preprocessor>(config_.prep);
+}
+
+TraceProcessor::~TraceProcessor() = default;
+
+Trace
+TraceProcessor::prepared(Trace trace)
+{
+    if (prep_)
+        prep_->process(trace);
+    return trace;
+}
+
+void
+TraceProcessor::advanceOracle()
+{
+    while (oracle_.size() < 4 && !oracleDone_) {
+        if (core_.halted()) {
+            if (auto t = segmenter_.flush())
+                oracle_.push_back({std::move(*t), window_});
+            window_.clear();
+            oracleDone_ = true;
+            break;
+        }
+        const DynInst &dyn = core_.step();
+        window_.push_back(dyn);
+        if (auto t = segmenter_.feed(dyn)) {
+            oracle_.push_back({std::move(*t), std::move(window_)});
+            window_.clear();
+        }
+    }
+}
+
+void
+TraceProcessor::commitCompleted()
+{
+    while (!backend_.empty()) {
+        const Cycle done = backend_.headCompletionTime();
+        if (done == TimingBackend::noCompletion || done > now_)
+            break;
+        tpre_assert(!dispatchedLens_.empty());
+        stats_.instructions += dispatchedLens_.front();
+        dispatchedLens_.pop_front();
+        backend_.retireHead();
+    }
+}
+
+Cycle
+TraceProcessor::slowFetch(const PendingTrace &pending)
+{
+    const Trace &trace = pending.trace;
+    Cycle cycles =
+        (trace.len() + config_.slowFetchWidth - 1) /
+        config_.slowFetchWidth;
+
+    // I-cache line fetches along the trace's path.
+    Addr cur_line = invalidAddr;
+    for (const TraceInst &ti : trace.insts) {
+        const Addr line = icache_.lineAddr(ti.pc);
+        if (line != cur_line) {
+            const ICache::AccessResult res =
+                icache_.fetchLine(line, false);
+            if (!res.hit)
+                cycles += res.latency;
+            cur_line = line;
+        }
+    }
+    stats_.slowPathInsts += trace.len();
+
+    // Conventional prediction drives the slow path: bimodal for
+    // conditional branches, RAS for returns, BTB for other
+    // indirect jumps. Each wrong prediction stalls fetch.
+    for (const DynInst &dyn : pending.window) {
+        if (dyn.inst.isCondBranch()) {
+            if (bimodal_.predict(dyn.pc) != dyn.taken) {
+                cycles += config_.slowMispredictPenalty;
+                ++stats_.slowMispredicts;
+            }
+        } else if (dyn.inst.isReturn()) {
+            if (ras_.pop() != dyn.nextPc) {
+                cycles += config_.slowMispredictPenalty;
+                ++stats_.slowMispredicts;
+            }
+        } else if (dyn.inst.isIndirectJump()) {
+            if (btb_.predict(dyn.pc) != dyn.nextPc) {
+                cycles += config_.slowMispredictPenalty;
+                ++stats_.slowMispredicts;
+            }
+            btb_.update(dyn.pc, dyn.nextPc);
+        }
+        if (dyn.inst.isCall())
+            ras_.push(Instruction::fallThrough(dyn.pc));
+    }
+    return cycles;
+}
+
+void
+TraceProcessor::doLookup()
+{
+    tpre_assert(!oracle_.empty());
+    const PendingTrace &front = oracle_.front();
+    const TraceId &id = front.trace.id;
+
+    const Trace *stored = traceCache_.lookup(id);
+    bool pb = false;
+    if (!stored && engine_) {
+        if (const Trace *buffered = engine_->lookupBuffer(id)) {
+            traceCache_.insert(prepared(*buffered));
+            engine_->consumeHit(id);
+            stored = traceCache_.lookup(id);
+            pb = true;
+        }
+    }
+
+    if (stored) {
+        if (pb)
+            ++stats_.pbHits;
+        else
+            ++stats_.tcHits;
+    } else {
+        ++stats_.tcMisses;
+    }
+
+    const bool knows_target =
+        predValidForFront_ || afterResolve_;
+
+    if (stored && knows_target) {
+        dispatchTrace_ = *stored;
+        fetchReadyAt_ = now_ + 1;
+        fetchWasSlow_ = false;
+    } else {
+        // Slow path: no usable prediction, or the trace cache
+        // cannot supply the trace.
+        const Cycle cost = slowFetch(front);
+        fetchReadyAt_ = now_ + cost;
+        slowBusyUntil_ = std::max(slowBusyUntil_, fetchReadyAt_);
+        fetchWasSlow_ = true;
+        dispatchTrace_ = front.trace;
+        if (!stored)
+            traceCache_.insert(prepared(front.trace));
+    }
+    afterResolve_ = false;
+    fetchState_ = FetchState::WaitReady;
+}
+
+void
+TraceProcessor::dispatchFront()
+{
+    tpre_assert(!oracle_.empty());
+    PendingTrace front = std::move(oracle_.front());
+    oracle_.pop_front();
+
+    const std::uint64_t handle =
+        backend_.dispatch(dispatchTrace_, front.window, now_);
+    dispatchedLens_.push_back(front.trace.len());
+    ++stats_.traces;
+
+    bool contains_call = false;
+    for (const TraceInst &ti : front.trace.insts)
+        contains_call |= ti.inst.isCall();
+    const bool ends_in_return = front.trace.endsInReturn();
+
+    // Train the slow-path structures and feed the dispatch-stream
+    // monitor with the dispatched instructions.
+    for (const DynInst &dyn : front.window) {
+        if (dyn.inst.isCondBranch())
+            bimodal_.update(dyn.pc, dyn.taken);
+        if (engine_)
+            engine_->observeDispatch(dyn);
+    }
+
+    // Misprediction discovered inside this trace: the next fetch
+    // stalls until the divergent branch resolves. armResolveIdx_
+    // indexes the *original* trace; map it into the dispatched
+    // (possibly preprocessed) trace via srcPos.
+    if (armResolveAfterDispatch_) {
+        fetchState_ = FetchState::WaitResolve;
+        resolveHandle_ = handle;
+        unsigned idx = dispatchTrace_.len() - 1;
+        for (unsigned i = 0; i < dispatchTrace_.len(); ++i) {
+            if (dispatchTrace_.insts[i].srcPos == armResolveIdx_) {
+                idx = i;
+                break;
+            }
+        }
+        resolveIdx_ = idx;
+        armResolveAfterDispatch_ = false;
+    } else {
+        fetchState_ = FetchState::Lookup;
+    }
+
+    // Advance the next-trace predictor with the actual trace and
+    // predict the successor.
+    ntp_.advance(front.trace.id, contains_call, ends_in_return);
+    predValidForFront_ = false;
+
+    if (oracle_.empty())
+        return;
+    const TraceId &next_id = oracle_.front().trace.id;
+    const TraceId pred = ntp_.predict();
+
+    if (!pred.valid()) {
+        ++stats_.ntpNone;
+    } else if (pred == next_id) {
+        ++stats_.ntpCorrect;
+        predValidForFront_ = true;
+    } else {
+        ++stats_.ntpWrong;
+        if (pred.startPc == next_id.startPc &&
+            fetchState_ != FetchState::WaitResolve) {
+            // Outcome mismatch: the shared prefix dispatches; the
+            // divergence resolves at the first differing branch.
+            unsigned branch_index = 0;
+            const std::uint16_t diff =
+                pred.branchFlags ^ next_id.branchFlags;
+            while (branch_index < 15 &&
+                   !((diff >> branch_index) & 1)) {
+                ++branch_index;
+            }
+            // Map branch ordinal to instruction position.
+            unsigned idx = oracle_.front().trace.len() - 1;
+            unsigned seen = 0;
+            const auto &insts = oracle_.front().trace.insts;
+            for (unsigned i = 0; i < insts.size(); ++i) {
+                if (insts[i].inst.isCondBranch()) {
+                    if (seen == branch_index) {
+                        idx = i;
+                        break;
+                    }
+                    ++seen;
+                }
+            }
+            // The prefix (and prediction timing) behaves like a
+            // hit; the resolve is armed for after its dispatch.
+            predValidForFront_ = true;
+            armResolveAfterDispatch_ = true;
+            armResolveIdx_ = idx;
+        } else if (fetchState_ != FetchState::WaitResolve) {
+            // Start mismatch: discovered when the just-dispatched
+            // trace's last instruction resolves.
+            fetchState_ = FetchState::WaitResolve;
+            resolveHandle_ = handle;
+            resolveIdx_ = dispatchTrace_.len() - 1;
+        }
+    }
+}
+
+void
+TraceProcessor::fetchAndDispatch()
+{
+    if (oracle_.empty())
+        return;
+
+    if (fetchState_ == FetchState::WaitResolve) {
+        const Cycle done =
+            backend_.completionOf(resolveHandle_, resolveIdx_);
+        if (done == TimingBackend::noCompletion ||
+            now_ < done + config_.redirectPenalty) {
+            return;
+        }
+        afterResolve_ = true;
+        fetchState_ = FetchState::Lookup;
+    }
+
+    if (fetchState_ == FetchState::Lookup)
+        doLookup();
+
+    if (fetchState_ == FetchState::WaitReady &&
+        now_ >= fetchReadyAt_ && backend_.hasFreePe()) {
+        dispatchFront();
+        // Chain the next lookup in the dispatch cycle so hits
+        // sustain one trace per cycle.
+        if (fetchState_ == FetchState::Lookup && !oracle_.empty())
+            doLookup();
+    }
+}
+
+const ProcessorStats &
+TraceProcessor::run(InstCount maxInsts)
+{
+    advanceOracle();
+    while (stats_.instructions < maxInsts &&
+           (!oracle_.empty() || !backend_.empty())) {
+        ++now_;
+        backend_.tick(now_);
+        commitCompleted();
+        fetchAndDispatch();
+        if (engine_)
+            engine_->tick(1, now_ >= slowBusyUntil_);
+        advanceOracle();
+    }
+    stats_.cycles = now_;
+    stats_.icache = icache_.stats();
+    stats_.backend = backend_.stats();
+    if (engine_)
+        stats_.precon = engine_->stats();
+    if (prep_)
+        stats_.prep = prep_->stats();
+    return stats_;
+}
+
+} // namespace tpre

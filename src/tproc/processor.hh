@@ -1,0 +1,176 @@
+/**
+ * @file
+ * TraceProcessor: the full timing simulation (DESIGN.md section 5,
+ * "timing mode") used for Figures 6 and 8. The frontend is driven
+ * by the path-based next-trace predictor over the trace cache and
+ * preconstruction buffers with a conventional slow path
+ * (bimodal + BTB + RAS + I-cache); the backend is the distributed
+ * trace-processor execution engine. Optional trace preprocessing
+ * runs in the fill path.
+ *
+ * Modeling approach (documented for reproducibility): the backend
+ * executes the *actual* dynamic instructions with dependence-
+ * accurate timing. Next-trace mispredictions appear as fetch
+ * stalls until the divergence-resolving instruction completes in
+ * the backend plus a redirect penalty; wrong-path instructions do
+ * not occupy PEs. The predictor's history is advanced with actual
+ * trace ids at dispatch (oracle history), which is slightly
+ * optimistic but identical across compared configurations.
+ */
+
+#ifndef TPRE_TPROC_PROCESSOR_HH
+#define TPRE_TPROC_PROCESSOR_HH
+
+#include <deque>
+#include <memory>
+
+#include "bpred/bimodal.hh"
+#include "bpred/btb.hh"
+#include "bpred/next_trace.hh"
+#include "bpred/ras.hh"
+#include "cache/icache.hh"
+#include "precon/engine.hh"
+#include "prep/preprocessor.hh"
+#include "tproc/backend.hh"
+#include "trace/fill_unit.hh"
+#include "trace/trace_cache.hh"
+
+namespace tpre
+{
+
+/** Full timing-mode configuration. */
+struct ProcessorConfig
+{
+    std::size_t traceCacheEntries = 256;
+    unsigned traceCacheAssoc = 2;
+    ICacheConfig icache;
+    SelectionPolicy selection;
+    NtpConfig ntp;
+    BackendConfig backend;
+    /** Slow-path fetch bandwidth (instructions/cycle). */
+    unsigned slowFetchWidth = 4;
+    /** Extra slow-path cycles per mispredicted branch/target. */
+    Cycle slowMispredictPenalty = 6;
+    /** Squash-to-refetch bubble after a trace misprediction. */
+    Cycle redirectPenalty = 3;
+    bool preconEnabled = false;
+    PreconConfig precon;
+    bool prepEnabled = false;
+    PrepConfig prep;
+};
+
+/** Timing-mode statistics. */
+struct ProcessorStats
+{
+    InstCount instructions = 0;
+    Cycle cycles = 0;
+    std::uint64_t traces = 0;
+    std::uint64_t tcHits = 0;
+    std::uint64_t pbHits = 0;
+    std::uint64_t tcMisses = 0;
+    std::uint64_t ntpCorrect = 0;
+    std::uint64_t ntpWrong = 0;
+    std::uint64_t ntpNone = 0;
+    std::uint64_t slowPathInsts = 0;
+    std::uint64_t slowMispredicts = 0;
+    ICache::Stats icache;
+    TimingBackend::Stats backend;
+    PreconstructionEngine::Stats precon;
+    Preprocessor::Stats prep;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(instructions) /
+                                 static_cast<double>(cycles);
+    }
+};
+
+/** The full trace processor. */
+class TraceProcessor
+{
+  public:
+    TraceProcessor(const Program &program,
+                   ProcessorConfig config = {});
+    ~TraceProcessor();
+
+    /** Run until @p maxInsts commit or the program halts. */
+    const ProcessorStats &run(InstCount maxInsts);
+
+    const ProcessorStats &stats() const { return stats_; }
+
+  private:
+    /** One oracle-segmented trace plus its dynamic records. */
+    struct PendingTrace
+    {
+        Trace trace;
+        std::vector<DynInst> window;
+    };
+
+    /** Fetch pipeline state. */
+    enum class FetchState : std::uint8_t
+    {
+        Lookup,       ///< probe TC/PB (or start slow path) now
+        WaitResolve,  ///< stalled on a misprediction resolve
+        WaitReady,    ///< fetch latency counting down
+    };
+
+    void advanceOracle();
+    void commitCompleted();
+    void fetchAndDispatch();
+    void doLookup();
+    void dispatchFront();
+    /** Slow-path fetch cycles for the front trace (with stats). */
+    Cycle slowFetch(const PendingTrace &pending);
+    Trace prepared(Trace trace);
+
+    const Program &program_;
+    ProcessorConfig config_;
+    FunctionalCore core_;
+    TraceCache traceCache_;
+    ICache icache_;
+    BimodalPredictor bimodal_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+    NextTracePredictor ntp_;
+    FillUnit segmenter_;
+    TimingBackend backend_;
+    std::unique_ptr<PreconstructionEngine> engine_;
+    std::unique_ptr<Preprocessor> prep_;
+
+    std::deque<PendingTrace> oracle_;
+    std::vector<DynInst> window_;
+    bool oracleDone_ = false;
+    /** The trace image to dispatch for the front pending trace. */
+    Trace dispatchTrace_;
+    /** Lengths of dispatched-but-uncommitted traces. */
+    std::deque<unsigned> dispatchedLens_;
+    /** Fetch proceeds with a corrected target after a resolve. */
+    bool afterResolve_ = false;
+
+    Cycle now_ = 0;
+    FetchState fetchState_ = FetchState::Lookup;
+    Cycle fetchReadyAt_ = 0;
+    bool fetchWasSlow_ = false;
+    /** Misprediction resolve target. */
+    std::uint64_t resolveHandle_ = 0;
+    unsigned resolveIdx_ = 0;
+    /** Outcome-mismatch: arm resolve after the next dispatch. */
+    bool armResolveAfterDispatch_ = false;
+    unsigned armResolveIdx_ = 0;
+    /** Last dispatched trace (for start-mismatch divergence). */
+    std::uint64_t lastHandle_ = 0;
+    unsigned lastLen_ = 0;
+    /** I-cache port busy (slow path) until this cycle. */
+    Cycle slowBusyUntil_ = 0;
+    /** Predicted id for the front trace (set at previous dispatch). */
+    TraceId predForFront_;
+    bool predValidForFront_ = false;
+
+    ProcessorStats stats_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_TPROC_PROCESSOR_HH

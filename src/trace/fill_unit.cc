@@ -1,0 +1,39 @@
+#include "trace/fill_unit.hh"
+
+namespace tpre
+{
+
+FillUnit::FillUnit(SelectionPolicy policy) : builder_(policy)
+{
+}
+
+std::optional<Trace>
+FillUnit::feed(const DynInst &dyn)
+{
+    if (!builder_.active())
+        builder_.begin(dyn.pc);
+
+    const bool done =
+        builder_.append(dyn.inst, dyn.pc, dyn.taken, dyn.nextPc);
+    if (!done)
+        return std::nullopt;
+    return builder_.take();
+}
+
+void
+FillUnit::squash()
+{
+    builder_.abandon();
+}
+
+std::optional<Trace>
+FillUnit::flush()
+{
+    if (!builder_.active() || builder_.len() == 0) {
+        builder_.abandon();
+        return std::nullopt;
+    }
+    return builder_.take();
+}
+
+} // namespace tpre

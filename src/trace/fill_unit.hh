@@ -1,0 +1,55 @@
+/**
+ * @file
+ * FillUnit: the processor-side trace constructor. It watches the
+ * dynamic instruction stream and segments it into traces using the
+ * shared selection rules; completed traces are handed back to the
+ * frontend for insertion into the trace cache.
+ */
+
+#ifndef TPRE_TRACE_FILL_UNIT_HH
+#define TPRE_TRACE_FILL_UNIT_HH
+
+#include <optional>
+
+#include "func/core.hh"
+#include "trace/selector.hh"
+
+namespace tpre
+{
+
+/** Segments the dynamic stream into traces. */
+class FillUnit
+{
+  public:
+    explicit FillUnit(SelectionPolicy policy = {});
+
+    /**
+     * Feed one dynamic instruction. Starts a new trace
+     * automatically when idle.
+     *
+     * @return the completed trace when this instruction terminated
+     *         one, otherwise std::nullopt.
+     */
+    std::optional<Trace> feed(const DynInst &dyn);
+
+    /** Abandon the in-flight partial trace (pipeline squash). */
+    void squash();
+
+    /**
+     * Flush a non-empty partial trace (end of simulation); returns
+     * nullopt when idle.
+     */
+    std::optional<Trace> flush();
+
+    /** Is a trace currently being assembled? */
+    bool building() const { return builder_.active(); }
+
+    const SelectionPolicy &policy() const { return builder_.policy(); }
+
+  private:
+    TraceBuilder builder_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_TRACE_FILL_UNIT_HH

@@ -1,0 +1,117 @@
+#include "trace/selector.hh"
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+TraceBuilder::TraceBuilder(SelectionPolicy policy) : policy_(policy)
+{
+    tpre_assert(policy_.maxLen >= 1 && policy_.maxLen <= 16,
+                "trace length cap must be in [1,16]");
+}
+
+void
+TraceBuilder::begin(Addr startPc)
+{
+    tpre_assert(!active_, "begin() while a trace is in flight");
+    trace_ = Trace();
+    trace_.id.startPc = startPc;
+    active_ = true;
+    lastBackward_ = -1;
+    nextPc_ = startPc;
+}
+
+unsigned
+TraceBuilder::targetLen() const
+{
+    if (lastBackward_ < 0 || policy_.alignGranule == 0)
+        return policy_.maxLen;
+    // End a multiple of alignGranule instructions beyond the most
+    // recent backward branch; pick the largest length that still
+    // fits under the cap.
+    const unsigned beyond_base =
+        static_cast<unsigned>(lastBackward_) + 1;
+    const unsigned room = policy_.maxLen - beyond_base;
+    return beyond_base + policy_.alignGranule *
+                         (room / policy_.alignGranule);
+}
+
+bool
+TraceBuilder::append(const Instruction &inst, Addr pc, bool taken,
+                     Addr nextPc)
+{
+    tpre_assert(active_, "append() without begin()");
+    tpre_assert(pc == nextPc_, "append() off the embedded path");
+    tpre_assert(len() < policy_.maxLen, "append() past trace end");
+
+    trace_.insts.push_back(
+        {pc, inst, taken, static_cast<std::uint8_t>(len())});
+    nextPc_ = nextPc;
+
+    if (inst.isCondBranch()) {
+        tpre_assert(trace_.id.numBranches < 16);
+        if (taken)
+            trace_.id.branchFlags |=
+                std::uint16_t(1) << trace_.id.numBranches;
+        ++trace_.id.numBranches;
+        if (inst.isBackwardBranch())
+            lastBackward_ = static_cast<int>(len()) - 1;
+    }
+
+    // Rule 1: hard terminators.
+    if (inst.isReturn()) {
+        trace_.endReason = TraceEndReason::Return;
+        trace_.fallThrough = invalidAddr;
+        return true;
+    }
+    if (inst.isIndirectJump()) {
+        trace_.endReason = TraceEndReason::IndirectJump;
+        trace_.fallThrough = invalidAddr;
+        return true;
+    }
+    if (inst.op == Opcode::Halt) {
+        trace_.endReason = TraceEndReason::Halt;
+        trace_.fallThrough = invalidAddr;
+        return true;
+    }
+
+    // Rules 2 and 3: length-based termination.
+    const unsigned target = targetLen();
+    tpre_assert(len() <= target, "alignment target moved backwards");
+    if (len() == target) {
+        trace_.endReason = (lastBackward_ >= 0 &&
+                            target != policy_.maxLen)
+                               ? TraceEndReason::Alignment
+                               : TraceEndReason::MaxLength;
+        trace_.fallThrough = nextPc;
+        return true;
+    }
+    return false;
+}
+
+Trace
+TraceBuilder::take()
+{
+    tpre_assert(active_ && !trace_.insts.empty(),
+                "take() with no trace content");
+    active_ = false;
+    // A partial trace flushed mid-assembly still knows where it
+    // would have continued.
+    if (trace_.fallThrough == invalidAddr &&
+        trace_.endReason == TraceEndReason::MaxLength &&
+        len() < policy_.maxLen) {
+        trace_.fallThrough = nextPc_;
+    }
+    return std::move(trace_);
+}
+
+void
+TraceBuilder::abandon()
+{
+    active_ = false;
+    trace_ = Trace();
+    lastBackward_ = -1;
+}
+
+} // namespace tpre

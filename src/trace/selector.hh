@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Trace selection: the termination rules that segment an
+ * instruction stream into traces. The processor's fill unit and the
+ * preconstruction constructors share one TraceBuilder implementation
+ * so that preconstructed traces align with the traces the processor
+ * will actually request (Section 2.2 of the paper).
+ *
+ * Rules (in priority order, applied after appending an instruction):
+ *   1. returns, indirect jumps and Halt always end the trace;
+ *   2. if the trace contains a backward conditional branch, it may
+ *      only end a multiple of four instructions beyond the most
+ *      recent one (the paper's alignment heuristic);
+ *   3. otherwise it ends at 16 instructions.
+ */
+
+#ifndef TPRE_TRACE_SELECTOR_HH
+#define TPRE_TRACE_SELECTOR_HH
+
+#include "trace/trace.hh"
+
+namespace tpre
+{
+
+/** Tunables for trace selection; defaults match the paper. */
+struct SelectionPolicy
+{
+    /** Maximum instructions per trace. */
+    unsigned maxLen = maxTraceLen;
+    /**
+     * Granularity of the ends-beyond-backward-branch rule; 0
+     * disables the alignment heuristic entirely (ablation knob).
+     */
+    unsigned alignGranule = 4;
+};
+
+/**
+ * Incrementally assembles one trace from a stream of (instruction,
+ * outcome) pairs, applying the shared termination rules.
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(SelectionPolicy policy = {});
+
+    /** Begin a new trace at @p startPc. Builder must be idle. */
+    void begin(Addr startPc);
+
+    /** A trace is being assembled and has not yet terminated. */
+    bool active() const { return active_; }
+
+    /** Number of instructions appended so far. */
+    unsigned len() const { return trace_.insts.size(); }
+
+    /**
+     * Append the next instruction along the path. @p taken is the
+     * (actual or assumed) outcome for conditional branches.
+     *
+     * @return true when the trace is complete after this
+     *         instruction; retrieve it with take().
+     */
+    bool append(const Instruction &inst, Addr pc, bool taken,
+                Addr nextPc);
+
+    /**
+     * Finalize and return the completed trace; resets the builder.
+     * Only legal after append() returned true, or for flushing a
+     * non-empty partial trace at end of simulation.
+     */
+    Trace take();
+
+    /** Abandon the current partial trace. */
+    void abandon();
+
+    const SelectionPolicy &policy() const { return policy_; }
+
+  private:
+    /** Length at which rules 2/3 will terminate the current trace. */
+    unsigned targetLen() const;
+
+    SelectionPolicy policy_;
+    Trace trace_;
+    bool active_ = false;
+    /** Position of the most recent backward branch, or -1. */
+    int lastBackward_ = -1;
+    Addr nextPc_ = invalidAddr;
+};
+
+} // namespace tpre
+
+#endif // TPRE_TRACE_SELECTOR_HH

@@ -1,0 +1,17 @@
+#include "trace/trace.hh"
+
+#include "common/random.hh"
+
+namespace tpre
+{
+
+std::uint64_t
+TraceId::hash() const
+{
+    std::uint64_t x = startPc;
+    x ^= static_cast<std::uint64_t>(branchFlags) << 40;
+    x ^= static_cast<std::uint64_t>(numBranches) << 56;
+    return mix64(x);
+}
+
+} // namespace tpre

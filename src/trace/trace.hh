@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Trace and TraceId: the unit of storage and prediction in a trace
+ * processor. A trace is a snapshot of up to 16 consecutive dynamic
+ * instructions; it is identified by its starting address plus the
+ * outcomes of the conditional branches it embeds (Rotenberg et al.,
+ * MICRO'96).
+ */
+
+#ifndef TPRE_TRACE_TRACE_HH
+#define TPRE_TRACE_TRACE_HH
+
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace tpre
+{
+
+/**
+ * Identity of a trace: start PC, embedded conditional branch
+ * outcomes (bit i = i-th branch taken) and branch count. Both the
+ * trace cache and the preconstruction buffers index by a hash of
+ * all three fields (Section 3.1 of the paper).
+ */
+struct TraceId
+{
+    Addr startPc = invalidAddr;
+    std::uint16_t branchFlags = 0;
+    std::uint8_t numBranches = 0;
+
+    bool operator==(const TraceId &other) const = default;
+
+    bool valid() const { return startPc != invalidAddr; }
+
+    /** Well-mixed hash over all identity fields. */
+    std::uint64_t hash() const;
+};
+
+/** One instruction inside a trace, with its original address. */
+struct TraceInst
+{
+    Addr pc = 0;
+    Instruction inst;
+    /** Embedded outcome for conditional branches. */
+    bool taken = false;
+    /**
+     * Position of the original instruction this one derives from;
+     * preprocessing may reorder or rewrite instructions, and the
+     * timing backend uses this to find the matching dynamic
+     * record (e.g. load effective addresses).
+     */
+    std::uint8_t srcPos = 0;
+};
+
+/** Why a trace ended; used by selection tests and stats. */
+enum class TraceEndReason : std::uint8_t
+{
+    MaxLength,      ///< hit the 16-instruction cap
+    Alignment,      ///< multiple-of-4-beyond-backward-branch rule
+    Return,         ///< ends in a procedure return
+    IndirectJump,   ///< ends in an indirect jump (target unknown)
+    Halt,           ///< program end
+};
+
+/** A completed trace. */
+struct Trace
+{
+    TraceId id;
+    std::vector<TraceInst> insts;
+    /**
+     * Address of the instruction that follows the trace along its
+     * embedded path; invalidAddr when the trace ends in an indirect
+     * jump or return (successor not embedded).
+     */
+    Addr fallThrough = invalidAddr;
+    TraceEndReason endReason = TraceEndReason::MaxLength;
+    /** Set once trace preprocessing has transformed the body. */
+    bool preprocessed = false;
+
+    unsigned len() const { return insts.size(); }
+    bool endsInReturn() const
+    { return endReason == TraceEndReason::Return; }
+    bool endsInIndirect() const
+    { return endReason == TraceEndReason::IndirectJump; }
+};
+
+} // namespace tpre
+
+#endif // TPRE_TRACE_TRACE_HH

@@ -1,0 +1,126 @@
+#include "trace/trace_cache.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+TraceCache::TraceCache(std::size_t numEntries, unsigned assoc)
+    : assoc_(assoc)
+{
+    tpre_assert(assoc >= 1);
+    tpre_assert(numEntries >= assoc && numEntries % assoc == 0,
+                "entry count must be a multiple of associativity");
+    numSets_ = numEntries / assoc;
+    entries_.resize(numEntries);
+}
+
+std::size_t
+TraceCache::setOf(const TraceId &id) const
+{
+    return static_cast<std::size_t>(id.hash() % numSets_);
+}
+
+TraceCache::Entry &
+TraceCache::entryAt(std::size_t set, unsigned way)
+{
+    return entries_[set * assoc_ + way];
+}
+
+TraceCache::Entry *
+TraceCache::findEntry(const TraceId &id)
+{
+    const std::size_t set = setOf(id);
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &entry = entryAt(set, way);
+        if (entry.valid && entry.trace.id == id)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const TraceCache::Entry *
+TraceCache::findEntry(const TraceId &id) const
+{
+    return const_cast<TraceCache *>(this)->findEntry(id);
+}
+
+const Trace *
+TraceCache::lookup(const TraceId &id)
+{
+    Entry *entry = findEntry(id);
+    if (!entry)
+        return nullptr;
+    entry->lastUse = tick();
+    return &entry->trace;
+}
+
+bool
+TraceCache::contains(const TraceId &id) const
+{
+    return findEntry(id) != nullptr;
+}
+
+TraceCache::Entry &
+TraceCache::victimIn(std::size_t set)
+{
+    Entry *victim = &entryAt(set, 0);
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &entry = entryAt(set, way);
+        if (!entry.valid)
+            return entry;
+        if (entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    return *victim;
+}
+
+void
+TraceCache::insert(Trace trace)
+{
+    tpre_assert(trace.id.valid(), "inserting invalid trace");
+    // Refresh in place when the identical trace is already present.
+    if (Entry *existing = findEntry(trace.id)) {
+        existing->trace = std::move(trace);
+        existing->lastUse = tick();
+        return;
+    }
+    Entry &victim = victimIn(setOf(trace.id));
+    victim.valid = true;
+    victim.trace = std::move(trace);
+    victim.lastUse = tick();
+}
+
+bool
+TraceCache::invalidate(const TraceId &id)
+{
+    if (Entry *entry = findEntry(id)) {
+        entry->valid = false;
+        entry->trace = Trace();
+        return true;
+    }
+    return false;
+}
+
+void
+TraceCache::clear()
+{
+    for (Entry &entry : entries_) {
+        entry.valid = false;
+        entry.trace = Trace();
+        entry.lastUse = 0;
+    }
+}
+
+std::size_t
+TraceCache::numValid() const
+{
+    std::size_t count = 0;
+    for (const Entry &entry : entries_)
+        count += entry.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace tpre

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * TraceCache: 2-way set-associative storage of traces, indexed by a
+ * hash of the trace identity (start PC + branch outcomes), with LRU
+ * replacement — the organization from Section 4.1. The same class
+ * backs the primary trace cache; the preconstruction buffers extend
+ * it with region-priority replacement (precon/buffers.hh).
+ */
+
+#ifndef TPRE_TRACE_TRACE_CACHE_HH
+#define TPRE_TRACE_TRACE_CACHE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace tpre
+{
+
+/** A set-associative cache of traces. */
+class TraceCache
+{
+  public:
+    /**
+     * @param numEntries Total trace entries (e.g. 64 .. 1024); one
+     *        entry stores one 16-instruction trace (64 bytes of
+     *        instruction storage, matching the paper's sizing).
+     * @param assoc Set associativity (paper: 2).
+     */
+    TraceCache(std::size_t numEntries, unsigned assoc = 2);
+
+    /** Look up a trace; updates LRU on hit. nullptr on miss. */
+    const Trace *lookup(const TraceId &id);
+
+    /** Probe without disturbing replacement state. */
+    bool contains(const TraceId &id) const;
+
+    /** Insert a trace, evicting the set's LRU entry if needed. */
+    void insert(Trace trace);
+
+    /** Remove a trace if present; returns true when removed. */
+    bool invalidate(const TraceId &id);
+
+    /** Drop everything. */
+    void clear();
+
+    std::size_t numEntries() const { return entries_.size(); }
+    unsigned assoc() const { return assoc_; }
+    std::size_t numSets() const { return numSets_; }
+    /** Trace storage capacity in bytes (64 B per entry). */
+    std::size_t sizeBytes() const
+    { return entries_.size() * maxTraceLen * instBytes; }
+    /** Number of currently valid entries. */
+    std::size_t numValid() const;
+
+  protected:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+        Trace trace;
+    };
+
+    std::size_t setOf(const TraceId &id) const;
+    Entry *findEntry(const TraceId &id);
+    const Entry *findEntry(const TraceId &id) const;
+    /** Pick the victim entry in @p set (invalid first, then LRU). */
+    Entry &victimIn(std::size_t set);
+
+    Entry &entryAt(std::size_t set, unsigned way);
+
+    std::uint64_t tick() { return ++useClock_; }
+
+  private:
+    unsigned assoc_;
+    std::size_t numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace tpre
+
+#endif // TPRE_TRACE_TRACE_CACHE_HH

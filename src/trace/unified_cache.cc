@@ -1,0 +1,261 @@
+#include "trace/unified_cache.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+UnifiedTraceCache::UnifiedTraceCache(std::size_t numEntries,
+                                     unsigned assoc,
+                                     unsigned preconWays)
+    : assoc_(assoc), preconWays_(preconWays)
+{
+    tpre_assert(assoc >= 2, "need at least two ways to partition");
+    tpre_assert(preconWays < assoc);
+    tpre_assert(numEntries >= assoc && numEntries % assoc == 0);
+    numSets_ = numEntries / assoc;
+    entries_.resize(numEntries);
+}
+
+std::size_t
+UnifiedTraceCache::setOf(const TraceId &id) const
+{
+    return static_cast<std::size_t>(id.hash() % numSets_);
+}
+
+UnifiedTraceCache::Entry *
+UnifiedTraceCache::find(const TraceId &id, bool precon)
+{
+    const std::size_t set = setOf(id);
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &entry = entries_[set * assoc_ + way];
+        if (entry.valid && entry.precon == precon &&
+            entry.trace.id == id) {
+            return &entry;
+        }
+    }
+    return nullptr;
+}
+
+const UnifiedTraceCache::Entry *
+UnifiedTraceCache::find(const TraceId &id, bool precon) const
+{
+    return const_cast<UnifiedTraceCache *>(this)->find(id, precon);
+}
+
+UnifiedTraceCache::LookupResult
+UnifiedTraceCache::lookupDemand(const TraceId &id)
+{
+    LookupResult res;
+    if (Entry *entry = find(id, false)) {
+        entry->lastUse = ++useClock_;
+        res.trace = &entry->trace;
+        return res;
+    }
+    if (Entry *entry = find(id, true)) {
+        // Promote: the preconstructed trace becomes a demand
+        // entry (the unified analogue of copying a buffer hit
+        // into the trace cache and invalidating the buffer).
+        Trace trace = std::move(entry->trace);
+        entry->valid = false;
+        entry->trace = Trace();
+        insertDemand(std::move(trace));
+        Entry *promoted = find(id, false);
+        tpre_assert(promoted, "promotion lost the trace");
+        res.trace = &promoted->trace;
+        res.fromPrecon = true;
+    }
+    return res;
+}
+
+bool
+UnifiedTraceCache::demandContains(const TraceId &id) const
+{
+    return find(id, false) != nullptr;
+}
+
+void
+UnifiedTraceCache::insertDemand(Trace trace)
+{
+    tpre_assert(trace.id.valid());
+    if (Entry *existing = find(trace.id, false)) {
+        existing->trace = std::move(trace);
+        existing->lastUse = ++useClock_;
+        return;
+    }
+
+    // Victim among the demand ways [0, assoc - preconWays): an
+    // invalid way first, then a stranded precon entry (left over
+    // from a partition move), then LRU.
+    const std::size_t set = setOf(trace.id);
+    const unsigned demand_ways = assoc_ - preconWays_;
+    Entry *victim = nullptr;
+    for (unsigned way = 0; way < demand_ways; ++way) {
+        Entry &entry = entries_[set * assoc_ + way];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (entry.precon) {
+            victim = &entry; // stranded: reclaim first
+            break;
+        }
+        if (!victim || entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    tpre_assert(victim, "no demand ways configured");
+    victim->valid = true;
+    victim->precon = false;
+    victim->trace = std::move(trace);
+    victim->lastUse = ++useClock_;
+}
+
+const Trace *
+UnifiedTraceCache::lookup(const TraceId &id) const
+{
+    const Entry *entry = find(id, true);
+    return entry ? &entry->trace : nullptr;
+}
+
+bool
+UnifiedTraceCache::insert(Trace trace, std::uint64_t regionSeq)
+{
+    tpre_assert(trace.id.valid());
+    if (preconWays_ == 0)
+        return false;
+
+    if (Entry *existing = find(trace.id, true)) {
+        existing->trace = std::move(trace);
+        existing->regionSeq = regionSeq;
+        return true;
+    }
+
+    // Victim among the precon ways [assoc - preconWays, assoc):
+    // invalid first, then stranded demand entries, then the
+    // oldest region (never the same or a newer one).
+    const std::size_t set = setOf(trace.id);
+    Entry *victim = nullptr;
+    bool victim_stranded = false;
+    for (unsigned way = assoc_ - preconWays_; way < assoc_; ++way) {
+        Entry &entry = entries_[set * assoc_ + way];
+        if (!entry.valid) {
+            victim = &entry;
+            victim_stranded = true; // free: always usable
+            break;
+        }
+        if (!entry.precon) {
+            victim = &entry;
+            victim_stranded = true;
+            break;
+        }
+        if (!victim || entry.regionSeq < victim->regionSeq)
+            victim = &entry;
+    }
+    if (!victim_stranded && victim->valid &&
+        victim->regionSeq >= regionSeq) {
+        return false;
+    }
+    victim->valid = true;
+    victim->precon = true;
+    victim->regionSeq = regionSeq;
+    victim->trace = std::move(trace);
+    victim->lastUse = ++useClock_;
+    return true;
+}
+
+bool
+UnifiedTraceCache::invalidate(const TraceId &id)
+{
+    if (Entry *entry = find(id, true)) {
+        entry->valid = false;
+        entry->trace = Trace();
+        return true;
+    }
+    return false;
+}
+
+void
+UnifiedTraceCache::setPreconWays(unsigned ways)
+{
+    tpre_assert(ways < assoc_);
+    preconWays_ = ways;
+    // Entries stranded on the wrong side stay valid and are
+    // reclaimed lazily by the insert paths above.
+}
+
+void
+UnifiedTraceCache::clear()
+{
+    for (Entry &entry : entries_) {
+        entry.valid = false;
+        entry.trace = Trace();
+    }
+    useClock_ = 0;
+}
+
+std::size_t
+UnifiedTraceCache::numValidDemand() const
+{
+    std::size_t n = 0;
+    for (const Entry &entry : entries_)
+        n += entry.valid && !entry.precon;
+    return n;
+}
+
+std::size_t
+UnifiedTraceCache::numValidPrecon() const
+{
+    std::size_t n = 0;
+    for (const Entry &entry : entries_)
+        n += entry.valid && entry.precon;
+    return n;
+}
+
+AdaptivePartitioner::AdaptivePartitioner(UnifiedTraceCache &cache,
+                                         Config config)
+    : cache_(cache), config_(config)
+{
+    tpre_assert(config_.maxWays < cache.assoc());
+}
+
+AdaptivePartitioner::AdaptivePartitioner(UnifiedTraceCache &cache)
+    : AdaptivePartitioner(cache, Config())
+{
+}
+
+void
+AdaptivePartitioner::observe(bool demandHit, bool preconHit)
+{
+    ++traces_;
+    if (preconHit)
+        ++preconHits_;
+    else if (!demandHit)
+        ++misses_;
+
+    if (traces_ < config_.interval)
+        return;
+
+    // Decide: how useful was the precon partition this interval?
+    const double denom =
+        static_cast<double>(preconHits_ + misses_);
+    const double useful =
+        denom > 0 ? static_cast<double>(preconHits_) / denom : 0.0;
+
+    unsigned ways = cache_.preconWays();
+    if (useful > config_.growThreshold &&
+        ways < config_.maxWays) {
+        cache_.setPreconWays(ways + 1);
+        ++adjustments_;
+    } else if (useful < config_.shrinkThreshold &&
+               ways > config_.minWays) {
+        cache_.setPreconWays(ways - 1);
+        ++adjustments_;
+    }
+    traces_ = 0;
+    preconHits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace tpre

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * UnifiedTraceCache: one trace store shared between the primary
+ * trace cache and the preconstruction buffers. The paper notes
+ * that "in theory a single trace cache could be used by simply
+ * reserving some entries for preconstruction" and suggests
+ * dynamically allocating that space as future work (Section 5.1);
+ * this class implements both ideas.
+ *
+ * The cache is organized as N sets x `assoc` ways. In every set,
+ * the last `preconWays` ways are reserved for preconstructed
+ * traces (region-priority replacement, as the stand-alone
+ * buffers); the remaining ways hold demand traces with LRU
+ * replacement. A hit in the precon partition *promotes* the trace
+ * into the demand partition, mirroring the copy-to-trace-cache of
+ * the split design.
+ *
+ * An adaptive controller (AdaptivePartitioner) observes interval
+ * statistics and moves the boundary: benchmarks like gcc prefer a
+ * small buffer and a large cache; go prefers the opposite
+ * (Section 5.1) — the controller tracks whichever is better.
+ */
+
+#ifndef TPRE_TRACE_UNIFIED_CACHE_HH
+#define TPRE_TRACE_UNIFIED_CACHE_HH
+
+#include <vector>
+
+#include "precon/buffers.hh"
+#include "trace/trace.hh"
+
+namespace tpre
+{
+
+/** A way-partitioned unified trace store. */
+class UnifiedTraceCache : public PreconStore
+{
+  public:
+    /**
+     * @param numEntries Total entries (demand + precon).
+     * @param assoc Ways per set (must allow a useful split).
+     * @param preconWays Initial ways per set reserved for
+     *        preconstructed traces (0 .. assoc-1).
+     */
+    UnifiedTraceCache(std::size_t numEntries, unsigned assoc = 4,
+                      unsigned preconWays = 1);
+
+    // ---- demand side (the primary trace cache) ----
+
+    /** Demand lookup; probes both partitions. On a hit in the
+     *  precon partition the trace is promoted to the demand side
+     *  and the caller sees it as a buffer hit. */
+    struct LookupResult
+    {
+        const Trace *trace = nullptr;
+        bool fromPrecon = false;
+    };
+    LookupResult lookupDemand(const TraceId &id);
+
+    /** Demand insert (fill-unit path); LRU within demand ways. */
+    void insertDemand(Trace trace);
+
+    /** Is the trace in the demand partition? */
+    bool demandContains(const TraceId &id) const;
+
+    // ---- precon side (PreconStore) ----
+
+    const Trace *lookup(const TraceId &id) const override;
+    bool insert(Trace trace, std::uint64_t regionSeq) override;
+    bool invalidate(const TraceId &id) override;
+
+    // ---- partitioning ----
+
+    unsigned preconWays() const { return preconWays_; }
+    unsigned assoc() const { return assoc_; }
+    std::size_t numSets() const { return numSets_; }
+    std::size_t numEntries() const { return entries_.size(); }
+
+    /**
+     * Move the partition boundary. Entries stranded on the wrong
+     * side of the new boundary are invalidated lazily: they stay
+     * visible to lookups but are the first victims.
+     */
+    void setPreconWays(unsigned ways);
+
+    void clear();
+
+    std::size_t numValidDemand() const;
+    std::size_t numValidPrecon() const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        bool precon = false;
+        std::uint64_t lastUse = 0;
+        std::uint64_t regionSeq = 0;
+        Trace trace;
+    };
+
+    std::size_t setOf(const TraceId &id) const;
+    Entry *find(const TraceId &id, bool precon);
+    const Entry *find(const TraceId &id, bool precon) const;
+
+    unsigned assoc_;
+    unsigned preconWays_;
+    std::size_t numSets_;
+    std::vector<Entry> entries_;
+    std::uint64_t useClock_ = 0;
+};
+
+/**
+ * Hill-climbing controller for the partition boundary: each
+ * interval, compare the rate of useful precon hits against demand
+ * misses and grow or shrink the precon reservation.
+ */
+class AdaptivePartitioner
+{
+  public:
+    struct Config
+    {
+        /** Traces per decision interval. */
+        std::uint64_t interval = 8192;
+        /** Grow the precon share when bufferHit/miss exceeds. */
+        double growThreshold = 0.35;
+        /** Shrink it when the ratio falls below. */
+        double shrinkThreshold = 0.08;
+        unsigned minWays = 0;
+        unsigned maxWays = 3;
+    };
+
+    AdaptivePartitioner(UnifiedTraceCache &cache, Config config);
+    /** Convenience: default configuration. */
+    explicit AdaptivePartitioner(UnifiedTraceCache &cache);
+
+    /** Feed per-trace outcome; may move the boundary. */
+    void observe(bool demandHit, bool preconHit);
+
+    std::uint64_t adjustments() const { return adjustments_; }
+
+  private:
+    UnifiedTraceCache &cache_;
+    Config config_;
+    std::uint64_t traces_ = 0;
+    std::uint64_t preconHits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t adjustments_ = 0;
+};
+
+} // namespace tpre
+
+#endif // TPRE_TRACE_UNIFIED_CACHE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * WorkloadGenerator: emits real, executable programs in the
+ * tracepre ISA from a BenchmarkProfile. The generated program is a
+ * phase-structured dispatcher over a population of generated
+ * functions; all control flow is computed by in-program LCGs, so
+ * the dynamic stream is self-consistent and reproducible.
+ *
+ * Register conventions of generated code:
+ *   r0        zero
+ *   r1..r19   filler computation
+ *   r20..r25  dispatcher/structure scratch
+ *   r26       LCG multiplier constant (25173, re-established by
+ *             every prologue, so effectively preserved)
+ *   r27       current LCG value (flows freely across calls)
+ *   r28       global data base (0x100000)
+ *   r29       function table base (0x110000)
+ *   r30       stack pointer, r31 link register
+ * Loop counters live in stack-frame slots so they survive calls.
+ */
+
+#ifndef TPRE_WORKLOAD_GENERATOR_HH
+#define TPRE_WORKLOAD_GENERATOR_HH
+
+#include "common/random.hh"
+#include "isa/builder.hh"
+#include "workload/profile.hh"
+
+namespace tpre
+{
+
+/** A generated program plus structural metadata. */
+struct GeneratedWorkload
+{
+    Program program;
+    /** Entry address of every generated function. */
+    std::vector<Addr> funcAddrs;
+    /** Static instruction counts. */
+    std::size_t totalInsts = 0;
+    std::size_t dispatcherInsts = 0;
+};
+
+/** Deterministic synthetic program generator. */
+class WorkloadGenerator
+{
+  public:
+    /** Data-segment base register value in generated code. */
+    static constexpr Addr dataBase = 0x100000;
+    /** Function-pointer table base in generated code. */
+    static constexpr Addr tableBase = 0x110000;
+
+    explicit WorkloadGenerator(BenchmarkProfile profile);
+
+    /** Generate the program; call once per generator instance. */
+    GeneratedWorkload generate();
+
+    const BenchmarkProfile &profile() const { return profile_; }
+
+  private:
+    using Label = ProgramBuilder::Label;
+
+    /** Emit one whole function body. */
+    void emitFunction(unsigned index);
+    /** Emit a structured statement sequence worth ~budget insts. */
+    void emitSeq(unsigned index, unsigned budget, unsigned loopDepth,
+                 unsigned ifDepth);
+    void emitFiller(unsigned index, unsigned count);
+    void emitIf(unsigned index, unsigned budget, unsigned loopDepth,
+                unsigned ifDepth);
+    void emitLoop(unsigned index, unsigned budget, unsigned loopDepth,
+                  unsigned ifDepth);
+    void emitCall(unsigned index);
+    /** Advance the in-register LCG (r27). */
+    void emitLcgStep();
+    /**
+     * Materialize a pseudo-random test value in r24 with @p bits of
+     * entropy (so r24 == 0 with probability ~ 2^-bits).
+     */
+    void emitCondValue(unsigned bits);
+    void emitDispatcher();
+
+    BenchmarkProfile profile_;
+    Rng rng_;
+    ProgramBuilder builder_;
+    std::vector<Label> funcLabels_;
+    std::size_t dispatcherStart_ = 0;
+    /**
+     * Remaining call sites allowed in the function being emitted.
+     * Capped (and calls are only emitted outside loops) so that the
+     * dynamic call tree per dispatch stays subcritical; see the
+     * emitFunction() comment.
+     */
+    unsigned callsLeft_ = 0;
+    bool generated_ = false;
+};
+
+} // namespace tpre
+
+#endif // TPRE_WORKLOAD_GENERATOR_HH

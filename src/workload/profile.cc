@@ -1,0 +1,193 @@
+#include "workload/profile.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace tpre
+{
+
+namespace
+{
+
+/**
+ * Calibration notes (per SPECint95 character the paper relies on):
+ *  - compress, ijpeg: tiny instruction working sets; even a very
+ *    small trace cache performs well (Section 5.1).
+ *  - gcc, go: the largest working sets; go additionally has poorly
+ *    biased branches, so its trace space explodes and growing the
+ *    trace cache has rapidly diminishing returns.
+ *  - vortex: large, call-heavy and *very* strongly biased, which
+ *    is why preconstruction removes ~80% of its misses.
+ *  - li, m88ksim, perl: mid-sized working sets, notable benefit.
+ */
+BenchmarkProfile
+baseProfile(const std::string &name, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    // Decorrelate the structure of the different benchmarks while
+    // keeping everything reproducible from one suite seed.
+    std::uint64_t h = seed;
+    for (char c : name)
+        h = mix64(h ^ static_cast<std::uint64_t>(c));
+    p.seed = h;
+    return p;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specint95Names()
+{
+    static const std::vector<std::string> names = {
+        "compress", "gcc", "go", "ijpeg",
+        "li", "m88ksim", "perl", "vortex",
+    };
+    return names;
+}
+
+BenchmarkProfile
+specint95Profile(const std::string &name, std::uint64_t seed)
+{
+    BenchmarkProfile p = baseProfile(name, seed);
+
+    if (name == "compress") {
+        p.numFuncs = 16;
+        p.meanFuncInsts = 48;
+        p.maxFuncInsts = 120;
+        p.calleeWindow = 6;
+        p.loopWeight = 0.45;
+        p.callWeight = 0.10;
+        p.loopIterBase = 6;
+        p.loopIterVarMask = 15;
+        p.biasedBranchFrac = 0.80;
+        p.biasBits = 6;
+        p.phaseCount = 2;
+        p.phasePool = 8;
+        p.phaseShift = 4;
+        p.callsPerPhase = 400;
+    } else if (name == "gcc") {
+        p.numFuncs = 400;
+        p.meanFuncInsts = 85;
+        p.maxFuncInsts = 280;
+        p.calleeWindow = 18;
+        p.loopWeight = 0.26;
+        p.ifWeight = 0.44;
+        p.callWeight = 0.20;
+        p.indirectCallFrac = 0.12;
+        p.biasedBranchFrac = 0.65;
+        p.biasBits = 5;
+        p.phaseCount = 12;
+        p.phasePool = 64;
+        p.phaseShift = 28;
+        p.callsPerPhase = 120;
+    } else if (name == "go") {
+        p.numFuncs = 360;
+        p.meanFuncInsts = 100;
+        p.maxFuncInsts = 320;
+        p.calleeWindow = 16;
+        p.loopWeight = 0.24;
+        p.ifWeight = 0.50;
+        p.callWeight = 0.16;
+        p.indirectCallFrac = 0.08;
+        // go's branches are famously hard to predict: fewer biased
+        // branches and weaker bias, so paths (and traces) explode.
+        p.biasedBranchFrac = 0.45;
+        p.biasBits = 3;
+        p.phaseCount = 10;
+        p.phasePool = 64;
+        p.phaseShift = 28;
+        p.callsPerPhase = 120;
+    } else if (name == "ijpeg") {
+        p.numFuncs = 24;
+        p.meanFuncInsts = 60;
+        p.maxFuncInsts = 160;
+        p.calleeWindow = 6;
+        p.loopWeight = 0.50;
+        p.callWeight = 0.10;
+        p.loopIterBase = 8;
+        p.loopIterVarMask = 15;
+        p.biasedBranchFrac = 0.85;
+        p.biasBits = 6;
+        p.phaseCount = 3;
+        p.phasePool = 10;
+        p.phaseShift = 5;
+        p.callsPerPhase = 350;
+    } else if (name == "li") {
+        p.numFuncs = 120;
+        p.meanFuncInsts = 48;
+        p.maxFuncInsts = 150;
+        p.calleeWindow = 20;
+        p.loopWeight = 0.18;
+        p.ifWeight = 0.42;
+        p.callWeight = 0.30;
+        p.indirectCallFrac = 0.20;
+        p.biasedBranchFrac = 0.70;
+        p.biasBits = 5;
+        p.phaseCount = 6;
+        p.phasePool = 24;
+        p.phaseShift = 14;
+        p.callsPerPhase = 160;
+    } else if (name == "m88ksim") {
+        p.numFuncs = 170;
+        p.meanFuncInsts = 70;
+        p.maxFuncInsts = 220;
+        p.calleeWindow = 12;
+        p.loopWeight = 0.30;
+        p.callWeight = 0.16;
+        p.biasedBranchFrac = 0.78;
+        p.biasBits = 6;
+        p.phaseCount = 7;
+        p.phasePool = 32;
+        p.phaseShift = 20;
+        p.callsPerPhase = 150;
+    } else if (name == "perl") {
+        p.numFuncs = 200;
+        p.meanFuncInsts = 70;
+        p.maxFuncInsts = 240;
+        p.calleeWindow = 16;
+        p.loopWeight = 0.22;
+        p.ifWeight = 0.44;
+        p.callWeight = 0.22;
+        p.indirectCallFrac = 0.18;
+        p.biasedBranchFrac = 0.70;
+        p.biasBits = 5;
+        p.phaseCount = 8;
+        p.phasePool = 32;
+        p.phaseShift = 20;
+        p.callsPerPhase = 140;
+    } else if (name == "vortex") {
+        p.numFuncs = 320;
+        p.meanFuncInsts = 90;
+        p.maxFuncInsts = 280;
+        p.calleeWindow = 16;
+        p.loopWeight = 0.20;
+        p.ifWeight = 0.40;
+        p.callWeight = 0.26;
+        p.indirectCallFrac = 0.10;
+        // Vortex is large but extremely well-behaved: strongly
+        // biased branches make single-path preconstruction very
+        // effective (the paper's 80% miss reduction).
+        p.biasedBranchFrac = 0.90;
+        p.biasBits = 7;
+        p.phaseCount = 10;
+        p.phasePool = 64;
+        p.phaseShift = 26;
+        p.callsPerPhase = 120;
+    } else {
+        fatal("unknown SPECint95 profile '%s'", name.c_str());
+    }
+
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+specint95Suite(std::uint64_t seed)
+{
+    std::vector<BenchmarkProfile> suite;
+    for (const std::string &name : specint95Names())
+        suite.push_back(specint95Profile(name, seed));
+    return suite;
+}
+
+} // namespace tpre

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * BenchmarkProfile: the knobs of the synthetic program generator,
+ * plus eight calibrated profiles named after the SPECint95 suite.
+ * The calibration targets the characteristics the paper's results
+ * depend on: instruction working-set size (gcc/go/vortex large,
+ * compress/ijpeg tiny), loop/procedure structure, branch-bias mix
+ * and indirect-jump density. See DESIGN.md section 1.
+ */
+
+#ifndef TPRE_WORKLOAD_PROFILE_HH
+#define TPRE_WORKLOAD_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tpre
+{
+
+/** Generator parameters for one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::uint64_t seed = 1;
+
+    /** Static structure. */
+    unsigned numFuncs = 64;
+    /** Approximate instruction budget per function body. */
+    unsigned minFuncInsts = 24;
+    unsigned meanFuncInsts = 60;
+    unsigned maxFuncInsts = 220;
+    /** Callee window: function i calls functions in (i, i+window]. */
+    unsigned calleeWindow = 12;
+
+    /** Structure mix inside a function body (relative weights). */
+    double loopWeight = 0.30;
+    double ifWeight = 0.40;
+    double callWeight = 0.18;
+    /** Fraction of in-body calls made through the function table. */
+    double indirectCallFrac = 0.15;
+
+    /** Loop trip counts: base + uniform[0, varMask]. */
+    unsigned loopIterBase = 3;
+    unsigned loopIterVarMask = 7;
+
+    /**
+     * Fraction of if-branches that are highly biased; a biased
+     * branch tests k low-entropy bits so its dominant direction is
+     * followed with probability ~ 1 - 2^-biasBits.
+     */
+    double biasedBranchFrac = 0.70;
+    unsigned biasBits = 5;
+
+    /** Fraction of filler instructions that are loads/stores. */
+    double memOpFrac = 0.25;
+
+    /** Dispatcher phases (working-set rotation). */
+    unsigned phaseCount = 8;
+    /** Root functions reachable per phase. */
+    unsigned phasePool = 16;
+    /** Root-call iterations per phase per outer repeat. */
+    unsigned callsPerPhase = 200;
+    /** Root index stride between consecutive phases. */
+    unsigned phaseShift = 8;
+    /** Outer repeats of the whole phase schedule before Halt. */
+    unsigned outerRepeats = 10000;
+    /** Direct-call compare-chain entries per dispatch (rest go
+     *  through the indirect function table). */
+    unsigned dispatchDirect = 4;
+};
+
+/** The SPECint95-like suite (all eight benchmarks). */
+std::vector<BenchmarkProfile> specint95Suite(std::uint64_t seed = 7);
+
+/** One profile by name ("gcc", "go", ...); fatal if unknown. */
+BenchmarkProfile specint95Profile(const std::string &name,
+                                  std::uint64_t seed = 7);
+
+/** Names in canonical (paper) order. */
+const std::vector<std::string> &specint95Names();
+
+} // namespace tpre
+
+#endif // TPRE_WORKLOAD_PROFILE_HH

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the prediction structures: bimodal, BTB, return
+ * address stack and the path-based next-trace predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bimodal.hh"
+#include "bpred/btb.hh"
+#include "bpred/next_trace.hh"
+#include "bpred/ras.hh"
+
+namespace tpre
+{
+namespace
+{
+
+TEST(BimodalTest, LearnsTakenBranch)
+{
+    BimodalPredictor bp(1024);
+    const Addr pc = 0x1000;
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, true);
+    EXPECT_TRUE(bp.predict(pc));
+    EXPECT_EQ(bp.counter(pc), 3u);
+}
+
+TEST(BimodalTest, LearnsNotTakenBranch)
+{
+    BimodalPredictor bp(1024);
+    const Addr pc = 0x2000;
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, false);
+    EXPECT_FALSE(bp.predict(pc));
+    EXPECT_EQ(bp.counter(pc), 0u);
+}
+
+TEST(BimodalTest, SaturatesWithoutWrapping)
+{
+    BimodalPredictor bp(64);
+    const Addr pc = 0x3000;
+    for (int i = 0; i < 100; ++i)
+        bp.update(pc, true);
+    EXPECT_EQ(bp.counter(pc), 3u);
+    bp.update(pc, false);
+    EXPECT_EQ(bp.counter(pc), 2u);
+    EXPECT_TRUE(bp.predict(pc)); // hysteresis
+}
+
+TEST(BimodalTest, BiasClassification)
+{
+    BimodalPredictor bp(64);
+    const Addr pc = 0x4000;
+    // Initial counter is 2 (weakly taken): not strong.
+    EXPECT_FALSE(bp.bias(pc).strong);
+    bp.update(pc, true);
+    BranchBias bias = bp.bias(pc);
+    EXPECT_TRUE(bias.strong);
+    EXPECT_TRUE(bias.taken);
+    for (int i = 0; i < 4; ++i)
+        bp.update(pc, false);
+    bias = bp.bias(pc);
+    EXPECT_TRUE(bias.strong);
+    EXPECT_FALSE(bias.taken);
+}
+
+TEST(BimodalTest, IndexingSeparatesBranches)
+{
+    BimodalPredictor bp(1024);
+    bp.update(0x1000, true);
+    bp.update(0x1004, false);
+    bp.update(0x1000, true);
+    bp.update(0x1004, false);
+    EXPECT_TRUE(bp.predict(0x1000));
+    EXPECT_FALSE(bp.predict(0x1004));
+}
+
+TEST(BimodalTest, ClearResetsToWeaklyTaken)
+{
+    BimodalPredictor bp(64);
+    bp.update(0x1000, false);
+    bp.update(0x1000, false);
+    bp.clear();
+    EXPECT_EQ(bp.counter(0x1000), 2u);
+}
+
+TEST(BtbTest, PredictAfterUpdate)
+{
+    Btb btb(64, 2);
+    EXPECT_EQ(btb.predict(0x1000), invalidAddr);
+    btb.update(0x1000, 0x5000);
+    EXPECT_EQ(btb.predict(0x1000), 0x5000u);
+    btb.update(0x1000, 0x6000); // last-target
+    EXPECT_EQ(btb.predict(0x1000), 0x6000u);
+}
+
+TEST(BtbTest, SetConflictEvictsLru)
+{
+    Btb btb(8, 2); // 4 sets
+    // Same set: pcs differ by 4 sets * 4 bytes = 16 bytes.
+    btb.update(0x1000, 0xa);
+    btb.update(0x1010, 0xb);
+    btb.predict(0x1000); // touch does not matter (predict const)
+    btb.update(0x1020, 0xc); // evicts the LRU (0x1000)
+    EXPECT_EQ(btb.predict(0x1020), 0xcu);
+    EXPECT_EQ(btb.predict(0x1010), 0xbu);
+    EXPECT_EQ(btb.predict(0x1000), invalidAddr);
+}
+
+TEST(RasTest, LifoBehaviour)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    EXPECT_EQ(ras.top(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), invalidAddr);
+}
+
+TEST(RasTest, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a * 0x10);
+    EXPECT_EQ(ras.size(), 4u);
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(RasTest, ClearEmpties)
+{
+    ReturnAddressStack ras(4);
+    ras.push(0x10);
+    ras.clear();
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.top(), invalidAddr);
+}
+
+// ---------------------------------------------------------------
+// Next-trace predictor.
+// ---------------------------------------------------------------
+
+TraceId
+tid(Addr start, std::uint16_t flags = 0, std::uint8_t branches = 0)
+{
+    TraceId id;
+    id.startPc = start;
+    id.branchFlags = flags;
+    id.numBranches = branches;
+    return id;
+}
+
+TEST(NtpTest, ColdPredictorHasNoOpinion)
+{
+    NextTracePredictor ntp;
+    EXPECT_FALSE(ntp.predict().valid());
+}
+
+TEST(NtpTest, LearnsRepeatingSequence)
+{
+    NextTracePredictor ntp;
+    const TraceId a = tid(0x1000), b = tid(0x2000),
+                  c = tid(0x3000);
+    // Train the cyclic sequence a -> b -> c -> a ... .
+    for (int rounds = 0; rounds < 8; ++rounds) {
+        ntp.advance(a, false, false);
+        ntp.advance(b, false, false);
+        ntp.advance(c, false, false);
+    }
+    ntp.advance(a, false, false);
+    EXPECT_EQ(ntp.predict(), b);
+    ntp.advance(b, false, false);
+    EXPECT_EQ(ntp.predict(), c);
+    EXPECT_GT(ntp.stats().predictions, 0u);
+}
+
+TEST(NtpTest, PathHistoryDisambiguatesContext)
+{
+    // Same most-recent trace, different predecessor, different
+    // successor: only path history can get both right.
+    NextTracePredictor ntp;
+    const TraceId a = tid(0x1000), b = tid(0x2000),
+                  x = tid(0x3000), y = tid(0x4000),
+                  m = tid(0x5000);
+    for (int rounds = 0; rounds < 16; ++rounds) {
+        // a -> m -> x ... b -> m -> y
+        ntp.advance(a, false, false);
+        ntp.advance(m, false, false);
+        ntp.advance(x, false, false);
+        ntp.advance(b, false, false);
+        ntp.advance(m, false, false);
+        ntp.advance(y, false, false);
+    }
+    ntp.advance(a, false, false);
+    ntp.advance(m, false, false);
+    EXPECT_EQ(ntp.predict(), x);
+    ntp.advance(x, false, false);
+    ntp.advance(b, false, false);
+    ntp.advance(m, false, false);
+    EXPECT_EQ(ntp.predict(), y);
+}
+
+TEST(NtpTest, ReturnHistoryStackRestoresContext)
+{
+    // Caller context: a -> call -> (f g) -> ret -> ? where the
+    // correct successor depends on the pre-call context.
+    NtpConfig cfg;
+    cfg.historyDepth = 4;
+    NextTracePredictor ntp(cfg);
+    const TraceId a = tid(0x1000), b = tid(0x2000),
+                  f = tid(0x9000), x = tid(0x3000),
+                  y = tid(0x4000);
+    for (int rounds = 0; rounds < 24; ++rounds) {
+        // a calls f; f returns; then x follows.
+        ntp.advance(a, true, false);   // contains a call
+        ntp.advance(f, false, true);   // callee, ends in return
+        ntp.advance(x, false, false);
+        // b calls f; f returns; then y follows.
+        ntp.advance(b, true, false);
+        ntp.advance(f, false, true);
+        ntp.advance(y, false, false);
+    }
+    ntp.advance(a, true, false);
+    ntp.advance(f, false, true);
+    EXPECT_EQ(ntp.predict(), x);
+    ntp.advance(x, false, false);
+    ntp.advance(b, true, false);
+    ntp.advance(f, false, true);
+    EXPECT_EQ(ntp.predict(), y);
+}
+
+TEST(NtpTest, CheckpointRestoreRoundTrip)
+{
+    NextTracePredictor ntp;
+    const TraceId a = tid(0x1000), b = tid(0x2000);
+    for (int i = 0; i < 8; ++i) {
+        ntp.advance(a, false, false);
+        ntp.advance(b, false, false);
+    }
+    ntp.advance(a, false, false);
+    auto cp = ntp.checkpoint();
+    const TraceId before = ntp.predict();
+    // Pollute the history.
+    ntp.advance(tid(0x7000), true, false);
+    ntp.advance(tid(0x8000), false, true);
+    ntp.restore(cp);
+    EXPECT_EQ(ntp.predict(), before);
+}
+
+TEST(NtpTest, ClearForgets)
+{
+    NextTracePredictor ntp;
+    const TraceId a = tid(0x1000), b = tid(0x2000);
+    for (int i = 0; i < 8; ++i) {
+        ntp.advance(a, false, false);
+        ntp.advance(b, false, false);
+    }
+    ntp.clear();
+    EXPECT_FALSE(ntp.predict().valid());
+    EXPECT_EQ(ntp.stats().predictions, 1u);
+}
+
+TEST(NtpTest, DistinguishesBranchFlagVariants)
+{
+    NextTracePredictor ntp;
+    const TraceId a = tid(0x1000, 0x1, 2);
+    const TraceId a2 = tid(0x1000, 0x2, 2);
+    const TraceId x = tid(0x3000), y = tid(0x4000);
+    for (int i = 0; i < 16; ++i) {
+        ntp.advance(a, false, false);
+        ntp.advance(x, false, false);
+        ntp.advance(a2, false, false);
+        ntp.advance(y, false, false);
+    }
+    ntp.advance(a, false, false);
+    EXPECT_EQ(ntp.predict(), x);
+    ntp.advance(x, false, false);
+    ntp.advance(a2, false, false);
+    EXPECT_EQ(ntp.predict(), y);
+}
+
+} // namespace
+} // namespace tpre

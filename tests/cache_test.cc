@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the cache module: the generic set-associative tag
+ * store, the timing I-cache, and the fill-up prefetch cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/icache.hh"
+#include "cache/prefetch_cache.hh"
+#include "cache/set_assoc.hh"
+
+namespace tpre
+{
+namespace
+{
+
+CacheGeometry
+tinyGeometry(unsigned lines, unsigned assoc)
+{
+    CacheGeometry g;
+    g.lineBytes = 64;
+    g.assoc = assoc;
+    g.sizeBytes = static_cast<std::size_t>(lines) * 64;
+    return g;
+}
+
+TEST(SetAssocTest, GeometryDerivations)
+{
+    CacheGeometry g{64 * 1024, 4, 64};
+    EXPECT_EQ(g.numLines(), 1024u);
+    EXPECT_EQ(g.numSets(), 256u);
+}
+
+TEST(SetAssocTest, MissThenHit)
+{
+    SetAssocCache c(tinyGeometry(8, 2));
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1004)); // same line
+    EXPECT_FALSE(c.access(0x2000));
+}
+
+TEST(SetAssocTest, LineAddrMasks)
+{
+    SetAssocCache c(tinyGeometry(8, 2));
+    EXPECT_EQ(c.lineAddr(0x1237), 0x1200u);
+}
+
+TEST(SetAssocTest, LruEvictionWithinSet)
+{
+    // 4 sets x 2 ways; addresses with the same set index differ by
+    // 4 lines (256 bytes).
+    SetAssocCache c(tinyGeometry(8, 2));
+    const Addr a = 0x0000, b = 0x0100, d = 0x0200;
+    EXPECT_FALSE(c.access(a));
+    EXPECT_FALSE(c.access(b));
+    EXPECT_TRUE(c.access(a));  // a is now MRU
+    EXPECT_FALSE(c.access(d)); // evicts b (LRU)
+    EXPECT_TRUE(c.contains(a));
+    EXPECT_FALSE(c.contains(b));
+    EXPECT_TRUE(c.contains(d));
+}
+
+TEST(SetAssocTest, ContainsDoesNotAllocate)
+{
+    SetAssocCache c(tinyGeometry(8, 2));
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_FALSE(c.access(0x1000)); // still a miss
+}
+
+TEST(SetAssocTest, Invalidate)
+{
+    SetAssocCache c(tinyGeometry(8, 2));
+    c.access(0x1000);
+    c.invalidate(0x1000);
+    EXPECT_FALSE(c.contains(0x1000));
+    // Invalidating an absent line is a no-op.
+    c.invalidate(0x9000);
+}
+
+TEST(SetAssocTest, ClearDropsEverything)
+{
+    SetAssocCache c(tinyGeometry(8, 2));
+    c.access(0x1000);
+    c.access(0x2000);
+    c.clear();
+    EXPECT_FALSE(c.contains(0x1000));
+    EXPECT_FALSE(c.contains(0x2000));
+}
+
+TEST(SetAssocTest, PrefersInvalidWayOverEviction)
+{
+    SetAssocCache c(tinyGeometry(8, 2));
+    c.access(0x0000);
+    c.access(0x0100); // second way of the same set
+    EXPECT_TRUE(c.contains(0x0000));
+    EXPECT_TRUE(c.contains(0x0100));
+}
+
+// ---------------------------------------------------------------
+// ICache.
+// ---------------------------------------------------------------
+
+TEST(ICacheTest, LatencyAndStats)
+{
+    ICacheConfig cfg;
+    cfg.geometry = tinyGeometry(16, 4);
+    cfg.hitLatency = 1;
+    cfg.missLatency = 10;
+    ICache ic(cfg);
+
+    auto r = ic.fetchLine(0x1000, false);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(r.latency, 10u);
+    r = ic.fetchLine(0x1000, false);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.latency, 1u);
+
+    EXPECT_EQ(ic.stats().demandAccesses, 2u);
+    EXPECT_EQ(ic.stats().demandMisses, 1u);
+    EXPECT_EQ(ic.stats().preconAccesses, 0u);
+}
+
+TEST(ICacheTest, PreconAccessesCountedSeparately)
+{
+    ICache ic;
+    ic.fetchLine(0x1000, true);
+    ic.fetchLine(0x2000, false);
+    ic.fetchLine(0x1000, false); // hit, prefetched by precon
+    EXPECT_EQ(ic.stats().preconAccesses, 1u);
+    EXPECT_EQ(ic.stats().preconMisses, 1u);
+    EXPECT_EQ(ic.stats().demandAccesses, 2u);
+    EXPECT_EQ(ic.stats().demandMisses, 1u);
+    EXPECT_EQ(ic.stats().totalMisses(), 2u);
+}
+
+TEST(ICacheTest, SharedBetweenDemandAndPrecon)
+{
+    ICache ic;
+    ic.fetchLine(0x3000, true);
+    // The line fetched by preconstruction services demand hits.
+    EXPECT_TRUE(ic.fetchLine(0x3000, false).hit);
+}
+
+TEST(ICacheTest, ClearResets)
+{
+    ICache ic;
+    ic.fetchLine(0x1000, false);
+    ic.clear();
+    EXPECT_EQ(ic.stats().demandAccesses, 0u);
+    EXPECT_FALSE(ic.contains(0x1000));
+}
+
+// ---------------------------------------------------------------
+// PrefetchCache.
+// ---------------------------------------------------------------
+
+TEST(PrefetchCacheTest, CapacityInLines)
+{
+    PrefetchCache pc(256);
+    EXPECT_EQ(pc.capacityInsts(), 256u);
+    EXPECT_EQ(pc.numLines(), 0u);
+    EXPECT_FALSE(pc.full());
+}
+
+TEST(PrefetchCacheTest, InsertAndContains)
+{
+    PrefetchCache pc(64); // 4 lines
+    EXPECT_TRUE(pc.insertLine(0x1000));
+    EXPECT_TRUE(pc.contains(0x1000));
+    EXPECT_TRUE(pc.contains(0x103c)); // same line
+    EXPECT_FALSE(pc.contains(0x1040));
+}
+
+TEST(PrefetchCacheTest, DuplicateInsertIsIdempotent)
+{
+    PrefetchCache pc(64);
+    EXPECT_TRUE(pc.insertLine(0x1000));
+    EXPECT_TRUE(pc.insertLine(0x1010)); // same line
+    EXPECT_EQ(pc.numLines(), 1u);
+}
+
+TEST(PrefetchCacheTest, FillsUpAndRefuses)
+{
+    PrefetchCache pc(64); // 4 lines
+    for (Addr a = 0; a < 4 * 64; a += 64)
+        EXPECT_TRUE(pc.insertLine(a));
+    EXPECT_TRUE(pc.full());
+    // Paper semantics: no replacement; the insert is refused.
+    EXPECT_FALSE(pc.insertLine(0x9000));
+    EXPECT_FALSE(pc.contains(0x9000));
+    // Already-present lines still "insert" fine.
+    EXPECT_TRUE(pc.insertLine(0x0));
+}
+
+TEST(PrefetchCacheTest, ClearForReuse)
+{
+    PrefetchCache pc(64);
+    pc.insertLine(0x1000);
+    pc.clear();
+    EXPECT_EQ(pc.numLines(), 0u);
+    EXPECT_FALSE(pc.contains(0x1000));
+    EXPECT_FALSE(pc.full());
+}
+
+TEST(PrefetchCacheTest, InstCountTracksLines)
+{
+    PrefetchCache pc(256);
+    pc.insertLine(0x0);
+    pc.insertLine(0x40);
+    EXPECT_EQ(pc.numInsts(), 2u * instsPerLine);
+}
+
+} // namespace
+} // namespace tpre

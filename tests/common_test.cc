@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the common module: PRNG, hashing and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace tpre
+{
+namespace
+{
+
+TEST(RngTest, DeterministicPerSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(RngTest, NextBelowCoversRange)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextBoolProbability)
+{
+    Rng rng(13);
+    int heads = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        heads += rng.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.02);
+}
+
+TEST(RngTest, NextBoolExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+        EXPECT_FALSE(rng.nextBool(-1.0));
+        EXPECT_TRUE(rng.nextBool(2.0));
+    }
+}
+
+TEST(RngTest, NextDoubleUnitInterval)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(RngTest, GeometricRespectsBounds)
+{
+    Rng rng(23);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t v = rng.nextGeometric(10, 30.0, 100);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 100u);
+    }
+}
+
+TEST(RngTest, GeometricMeanRoughlyCorrect)
+{
+    Rng rng(29);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(
+            rng.nextGeometric(4, 20.0, 100000));
+    // Mean of min + Exp(mean-min), floor'd: expect ~19.5.
+    EXPECT_NEAR(sum / n, 19.5, 1.5);
+}
+
+TEST(RngTest, GeometricDegenerateMean)
+{
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextGeometric(8, 5.0, 100), 8u);
+}
+
+TEST(RngTest, ShuffleIsPermutation)
+{
+    Rng rng(37);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIsIndependent)
+{
+    Rng parent(41);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Mix64Test, IsDeterministicAndMixes)
+{
+    EXPECT_EQ(mix64(12345), mix64(12345));
+    EXPECT_NE(mix64(1), mix64(2));
+    // Low-bit inputs should diffuse into high bits.
+    EXPECT_NE(mix64(1) >> 56, mix64(2) >> 56);
+}
+
+TEST(SplitMix64Test, AdvancesState)
+{
+    std::uint64_t s = 0;
+    std::uint64_t a = splitMix64(s);
+    std::uint64_t b = splitMix64(s);
+    EXPECT_NE(a, b);
+}
+
+TEST(StatsTest, CounterBasics)
+{
+    StatGroup group("g");
+    Counter c(group, "events", "number of events");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 9;
+    EXPECT_EQ(c.value(), 10u);
+    EXPECT_DOUBLE_EQ(c.perKilo(1000), 10.0);
+    EXPECT_DOUBLE_EQ(c.perKilo(0), 0.0);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatsTest, GroupResetAll)
+{
+    StatGroup group("g");
+    Counter a(group, "a", "");
+    Counter b(group, "b", "");
+    a += 5;
+    b += 7;
+    group.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatsTest, GroupRenderContainsNamesAndValues)
+{
+    StatGroup group("core");
+    Counter a(group, "commits", "committed instructions");
+    a += 123;
+    std::string text = group.render();
+    EXPECT_NE(text.find("core.commits"), std::string::npos);
+    EXPECT_NE(text.find("123"), std::string::npos);
+    EXPECT_NE(text.find("committed instructions"),
+              std::string::npos);
+}
+
+TEST(StatsTest, HistogramBucketsAndOverflow)
+{
+    StatGroup group("g");
+    Histogram h(group, "len", "trace length", 4);
+    h.sample(0);
+    h.sample(1, 2);
+    h.sample(3);
+    h.sample(10); // overflow
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), (0 + 1 + 1 + 3 + 10) / 5.0);
+}
+
+TEST(StatsTest, HistogramEmptyMean)
+{
+    StatGroup group("g");
+    Histogram h(group, "x", "", 2);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+} // namespace
+} // namespace tpre

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Cross-module integration tests: end-to-end checks that the
+ * paper's qualitative results hold on the full system, plus
+ * whole-pipeline invariants that span many modules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+
+namespace tpre
+{
+namespace
+{
+
+// One shared Simulator so workloads are generated once.
+Simulator &
+sharedSim()
+{
+    static Simulator sim;
+    return sim;
+}
+
+SimResult
+fastRun(const char *bench, std::size_t tc, std::size_t pb,
+        InstCount n = 600000)
+{
+    SimConfig cfg;
+    cfg.benchmark = bench;
+    cfg.traceCacheEntries = tc;
+    cfg.preconBufferEntries = pb;
+    cfg.maxInsts = n;
+    return sharedSim().run(cfg);
+}
+
+TEST(PaperShapeTest, LargeBenchmarksSeeBigMissReductions)
+{
+    // Paper Section 5.1: gcc, go and vortex see 30-80% fewer
+    // misses when a preconstruction buffer is added to a given
+    // trace cache. We require at least 20% on the mid size.
+    for (const char *bench : {"gcc", "go", "vortex"}) {
+        const double base =
+            fastRun(bench, 256, 0, 1200000).missesPerKi;
+        const double pre =
+            fastRun(bench, 256, 256, 1200000).missesPerKi;
+        EXPECT_LT(pre, base * 0.85) << bench;
+    }
+}
+
+TEST(PaperShapeTest, PreconBeatsEqualAreaTraceCache)
+{
+    // Paper Section 5.1: spending area on a preconstruction
+    // buffer beats spending it on more trace cache for the large
+    // benchmarks.
+    for (const char *bench : {"gcc", "go", "vortex"}) {
+        const double bigger_tc =
+            fastRun(bench, 512, 0).missesPerKi;
+        const double split =
+            fastRun(bench, 256, 256).missesPerKi;
+        EXPECT_LT(split, bigger_tc) << bench;
+    }
+}
+
+TEST(PaperShapeTest, SmallBenchmarksHaveLittleHeadroom)
+{
+    // compress and ijpeg: tiny working sets, low miss rates, and
+    // thus little absolute improvement available.
+    for (const char *bench : {"compress", "ijpeg"}) {
+        const double base = fastRun(bench, 512, 0).missesPerKi;
+        EXPECT_LT(base, 5.0) << bench;
+    }
+}
+
+TEST(PaperShapeTest, MissRateFallsWithCombinedSize)
+{
+    // Along the figure-5 x-axis (combined size), miss rates of
+    // the preconstruction configurations decrease.
+    const double small = fastRun("gcc", 64, 64).missesPerKi;
+    const double mid = fastRun("gcc", 128, 128).missesPerKi;
+    const double large = fastRun("gcc", 256, 256).missesPerKi;
+    EXPECT_GT(small, mid);
+    EXPECT_GT(mid, large);
+}
+
+TEST(PaperShapeTest, Table1Shape_ICacheSupplyDrops)
+{
+    // Paper Table 1: instructions supplied by the I-cache drop by
+    // over 20% with 256TC+256PB vs 512TC.
+    for (const char *bench : {"gcc", "go"}) {
+        const double base =
+            fastRun(bench, 512, 0).icacheSupplyPerKi;
+        const double pre =
+            fastRun(bench, 256, 256).icacheSupplyPerKi;
+        EXPECT_LT(pre, base) << bench;
+    }
+}
+
+TEST(PaperShapeTest, Table2Shape_ICacheMissesGrow)
+{
+    // Paper Table 2: preconstruction increases total I-cache
+    // misses (roughly doubling), because the engine prefetches.
+    const double base = fastRun("gcc", 512, 0).icacheMissesPerKi;
+    const double pre =
+        fastRun("gcc", 256, 256).icacheMissesPerKi;
+    EXPECT_GT(pre, base);
+    EXPECT_LT(pre, base * 6.0); // but not absurdly
+}
+
+TEST(PaperShapeTest, Table3Shape_MissSupplyDrops)
+{
+    // Paper Table 3: instructions supplied by I-cache *misses*
+    // drop — the engine prefetches lines the slow path then hits.
+    for (const char *bench : {"gcc", "go"}) {
+        const double base =
+            fastRun(bench, 512, 0).icacheMissSupplyPerKi;
+        const double pre =
+            fastRun(bench, 256, 256).icacheMissSupplyPerKi;
+        EXPECT_LT(pre, base) << bench;
+    }
+}
+
+TEST(PaperShapeTest, TimingSpeedupFromPrecon)
+{
+    // Paper Figure 8 leftmost bars: 128TC+128PB vs 256TC gives a
+    // positive speedup.
+    SimConfig base;
+    base.benchmark = "vortex";
+    base.mode = SimMode::Timing;
+    base.maxInsts = 300000;
+    base.traceCacheEntries = 256;
+    const double ipc_base = sharedSim().run(base).ipc;
+
+    SimConfig pre = base;
+    pre.traceCacheEntries = 128;
+    pre.preconBufferEntries = 128;
+    const double ipc_pre = sharedSim().run(pre).ipc;
+    EXPECT_GT(ipc_pre, ipc_base * 1.01);
+}
+
+TEST(IntegrationTest, AblationAlignmentHeuristicMatters)
+{
+    // Disabling the multiple-of-4 ending rule (alignGranule = 0)
+    // must hurt preconstruction hit rates: constructed traces no
+    // longer line up with what the processor requests after loop
+    // exits.
+    SimConfig aligned;
+    aligned.benchmark = "m88ksim";
+    aligned.traceCacheEntries = 128;
+    aligned.preconBufferEntries = 128;
+    aligned.maxInsts = 600000;
+    const SimResult with_rule = sharedSim().run(aligned);
+
+    SimConfig unaligned = aligned;
+    unaligned.selection.alignGranule = 0;
+    const SimResult without_rule = sharedSim().run(unaligned);
+
+    EXPECT_GT(with_rule.pbHits, without_rule.pbHits);
+}
+
+TEST(IntegrationTest, FastAndTimingAgreeOnCommittedWork)
+{
+    // The two simulation modes execute the same oracle stream.
+    SimConfig fast;
+    fast.benchmark = "li";
+    fast.maxInsts = 150000;
+    SimConfig timing = fast;
+    timing.mode = SimMode::Timing;
+    const SimResult a = sharedSim().run(fast);
+    const SimResult b = sharedSim().run(timing);
+    // Both modes segment the same oracle stream; they may overrun
+    // the instruction budget by at most a few in-flight traces.
+    EXPECT_NEAR(static_cast<double>(a.instructions),
+                static_cast<double>(b.instructions), 128.0);
+    EXPECT_NEAR(static_cast<double>(a.traces),
+                static_cast<double>(b.traces), 16.0);
+}
+
+TEST(IntegrationTest, PreconstructionBoundedByBufferArea)
+{
+    // A bigger buffer yields at least as many buffer hits.
+    const SimResult small = fastRun("perl", 256, 32);
+    const SimResult large = fastRun("perl", 256, 256);
+    EXPECT_GE(large.pbHits, small.pbHits);
+}
+
+TEST(IntegrationTest, EngineActivityStatsConsistent)
+{
+    const SimResult r = fastRun("go", 128, 128);
+    const auto &p = r.precon;
+    EXPECT_GT(p.regionsStarted, 0u);
+    // A handful of regions can still be active at end of run.
+    EXPECT_GE(p.regionsStarted,
+              p.regionsCompleted + p.regionsCaughtUp +
+                  p.regionsPrefetchFull + p.regionsBuffersFull +
+                  p.regionsWarm);
+    EXPECT_GE(p.tracesConstructed,
+              p.tracesBuffered + p.tracesAlreadyInTc);
+    EXPECT_GE(p.bufferHits, r.pbHits);
+}
+
+} // namespace
+} // namespace tpre

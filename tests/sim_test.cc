@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the sim facade: config conversion, the Simulator
+ * runner with workload caching, sweeps and report rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hh"
+#include "sim/simulator.hh"
+#include "sim/sweep.hh"
+
+namespace tpre
+{
+namespace
+{
+
+TEST(SimConfigTest, FastConversion)
+{
+    SimConfig cfg;
+    cfg.traceCacheEntries = 128;
+    cfg.preconBufferEntries = 64;
+    FastSimConfig fast = cfg.toFastConfig();
+    EXPECT_EQ(fast.traceCacheEntries, 128u);
+    EXPECT_TRUE(fast.preconEnabled);
+    EXPECT_EQ(fast.precon.bufferEntries, 64u);
+
+    cfg.preconBufferEntries = 0;
+    EXPECT_FALSE(cfg.toFastConfig().preconEnabled);
+}
+
+TEST(SimConfigTest, ProcessorConversion)
+{
+    SimConfig cfg;
+    cfg.prepEnabled = true;
+    cfg.preconBufferEntries = 32;
+    ProcessorConfig proc = cfg.toProcessorConfig();
+    EXPECT_TRUE(proc.prepEnabled);
+    EXPECT_TRUE(proc.preconEnabled);
+    EXPECT_EQ(proc.precon.bufferEntries, 32u);
+}
+
+TEST(SimConfigTest, CombinedKbMatchesPaperSizing)
+{
+    SimConfig cfg;
+    cfg.traceCacheEntries = 64;
+    cfg.preconBufferEntries = 0;
+    EXPECT_DOUBLE_EQ(cfg.combinedKb(), 4.0);
+    cfg.traceCacheEntries = 256;
+    cfg.preconBufferEntries = 256;
+    EXPECT_DOUBLE_EQ(cfg.combinedKb(), 32.0);
+}
+
+TEST(SimulatorTest, RunsFastMode)
+{
+    Simulator sim;
+    SimConfig cfg;
+    cfg.benchmark = "compress";
+    cfg.maxInsts = 100000;
+    SimResult r = sim.run(cfg);
+    EXPECT_GE(r.instructions, 100000u);
+    EXPECT_GT(r.traces, 0u);
+    EXPECT_GE(r.missesPerKi, 0.0);
+}
+
+TEST(SimulatorTest, RunsTimingMode)
+{
+    Simulator sim;
+    SimConfig cfg;
+    cfg.benchmark = "compress";
+    cfg.mode = SimMode::Timing;
+    cfg.maxInsts = 100000;
+    SimResult r = sim.run(cfg);
+    EXPECT_GT(r.ipc, 0.2);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(SimulatorTest, WorkloadCachedAcrossRuns)
+{
+    Simulator sim;
+    const GeneratedWorkload &a = sim.workload("li", 7);
+    const GeneratedWorkload &b = sim.workload("li", 7);
+    EXPECT_EQ(&a, &b);
+    const GeneratedWorkload &c = sim.workload("li", 8);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(SweepTest, Figure5GridShape)
+{
+    auto grid = figure5Grid();
+    ASSERT_EQ(grid.size(), 13u);
+    // Five baselines...
+    unsigned baselines = 0;
+    for (const SizePoint &p : grid)
+        baselines += p.pbEntries == 0;
+    EXPECT_EQ(baselines, 5u);
+    // ... and the preconstruction splits cover 32..512 buffers.
+    for (const SizePoint &p : grid) {
+        if (p.pbEntries) {
+            EXPECT_GE(p.pbEntries, 32u);
+            EXPECT_LE(p.pbEntries, 512u);
+        }
+    }
+}
+
+TEST(SweepTest, RunSweepProducesOneResultPerPoint)
+{
+    Simulator sim;
+    SimConfig base;
+    base.benchmark = "compress";
+    base.maxInsts = 60000;
+    std::vector<SizePoint> points{{64, 0}, {64, 32}};
+    unsigned callbacks = 0;
+    auto results = runSweep(sim, base, points,
+                            [&](const SimResult &) {
+                                ++callbacks;
+                            });
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(callbacks, 2u);
+    EXPECT_EQ(results[0].config.traceCacheEntries, 64u);
+    EXPECT_EQ(results[0].config.preconBufferEntries, 0u);
+    EXPECT_EQ(results[1].config.preconBufferEntries, 32u);
+}
+
+TEST(ReportTest, AlignedRendering)
+{
+    TableReport table({"bench", "m/ki"});
+    table.addRow({"gcc", TableReport::num(12.345, 2)});
+    table.addRow({"compress", TableReport::num(0.5, 2)});
+    std::string text = table.render();
+    EXPECT_NE(text.find("bench"), std::string::npos);
+    EXPECT_NE(text.find("12.35"), std::string::npos);
+    EXPECT_NE(text.find("compress"), std::string::npos);
+    EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(ReportTest, CsvRendering)
+{
+    TableReport table({"a", "b"});
+    table.addRow({"1", "2"});
+    EXPECT_EQ(table.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(ReportTest, NumFormatting)
+{
+    EXPECT_EQ(TableReport::num(3.14159, 3), "3.142");
+    EXPECT_EQ(TableReport::num(std::uint64_t(42)), "42");
+}
+
+TEST(ReportTest, MismatchedRowWidthDies)
+{
+    TableReport table({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace tpre
