@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dynamic_partition.dir/ablation_dynamic_partition.cc.o"
+  "CMakeFiles/ablation_dynamic_partition.dir/ablation_dynamic_partition.cc.o.d"
+  "ablation_dynamic_partition"
+  "ablation_dynamic_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

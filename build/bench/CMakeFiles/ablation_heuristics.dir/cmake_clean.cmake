@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heuristics.dir/ablation_heuristics.cc.o"
+  "CMakeFiles/ablation_heuristics.dir/ablation_heuristics.cc.o.d"
+  "ablation_heuristics"
+  "ablation_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

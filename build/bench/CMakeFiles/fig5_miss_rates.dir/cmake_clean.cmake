@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_miss_rates.dir/fig5_miss_rates.cc.o"
+  "CMakeFiles/fig5_miss_rates.dir/fig5_miss_rates.cc.o.d"
+  "fig5_miss_rates"
+  "fig5_miss_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_miss_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

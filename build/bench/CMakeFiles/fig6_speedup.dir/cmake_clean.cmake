@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_speedup.dir/fig6_speedup.cc.o"
+  "CMakeFiles/fig6_speedup.dir/fig6_speedup.cc.o.d"
+  "fig6_speedup"
+  "fig6_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

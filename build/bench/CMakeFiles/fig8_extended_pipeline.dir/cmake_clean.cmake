@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_extended_pipeline.dir/fig8_extended_pipeline.cc.o"
+  "CMakeFiles/fig8_extended_pipeline.dir/fig8_extended_pipeline.cc.o.d"
+  "fig8_extended_pipeline"
+  "fig8_extended_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_extended_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_icache_supply.dir/table1_icache_supply.cc.o"
+  "CMakeFiles/table1_icache_supply.dir/table1_icache_supply.cc.o.d"
+  "table1_icache_supply"
+  "table1_icache_supply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_icache_supply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

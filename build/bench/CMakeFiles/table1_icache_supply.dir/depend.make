@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_icache_supply.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_icache_misses.dir/table2_icache_misses.cc.o"
+  "CMakeFiles/table2_icache_misses.dir/table2_icache_misses.cc.o.d"
+  "table2_icache_misses"
+  "table2_icache_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_icache_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

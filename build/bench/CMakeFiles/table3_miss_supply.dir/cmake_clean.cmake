@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_miss_supply.dir/table3_miss_supply.cc.o"
+  "CMakeFiles/table3_miss_supply.dir/table3_miss_supply.cc.o.d"
+  "table3_miss_supply"
+  "table3_miss_supply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_miss_supply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_explorer.dir/frontend_explorer.cpp.o"
+  "CMakeFiles/frontend_explorer.dir/frontend_explorer.cpp.o.d"
+  "frontend_explorer"
+  "frontend_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

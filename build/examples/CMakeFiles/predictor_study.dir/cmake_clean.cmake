@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_study.dir/predictor_study.cpp.o"
+  "CMakeFiles/predictor_study.dir/predictor_study.cpp.o.d"
+  "predictor_study"
+  "predictor_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/bimodal.cc" "src/CMakeFiles/tracepre.dir/bpred/bimodal.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/bpred/bimodal.cc.o.d"
+  "/root/repo/src/bpred/btb.cc" "src/CMakeFiles/tracepre.dir/bpred/btb.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/bpred/btb.cc.o.d"
+  "/root/repo/src/bpred/next_trace.cc" "src/CMakeFiles/tracepre.dir/bpred/next_trace.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/bpred/next_trace.cc.o.d"
+  "/root/repo/src/bpred/ras.cc" "src/CMakeFiles/tracepre.dir/bpred/ras.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/bpred/ras.cc.o.d"
+  "/root/repo/src/cache/icache.cc" "src/CMakeFiles/tracepre.dir/cache/icache.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/cache/icache.cc.o.d"
+  "/root/repo/src/cache/prefetch_cache.cc" "src/CMakeFiles/tracepre.dir/cache/prefetch_cache.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/cache/prefetch_cache.cc.o.d"
+  "/root/repo/src/cache/set_assoc.cc" "src/CMakeFiles/tracepre.dir/cache/set_assoc.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/cache/set_assoc.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/tracepre.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/tracepre.dir/common/random.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/common/random.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/tracepre.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/common/stats.cc.o.d"
+  "/root/repo/src/func/core.cc" "src/CMakeFiles/tracepre.dir/func/core.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/func/core.cc.o.d"
+  "/root/repo/src/func/memory.cc" "src/CMakeFiles/tracepre.dir/func/memory.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/func/memory.cc.o.d"
+  "/root/repo/src/isa/builder.cc" "src/CMakeFiles/tracepre.dir/isa/builder.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/isa/builder.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/tracepre.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/instruction.cc" "src/CMakeFiles/tracepre.dir/isa/instruction.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/isa/instruction.cc.o.d"
+  "/root/repo/src/isa/program.cc" "src/CMakeFiles/tracepre.dir/isa/program.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/isa/program.cc.o.d"
+  "/root/repo/src/precon/buffers.cc" "src/CMakeFiles/tracepre.dir/precon/buffers.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/precon/buffers.cc.o.d"
+  "/root/repo/src/precon/constructor.cc" "src/CMakeFiles/tracepre.dir/precon/constructor.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/precon/constructor.cc.o.d"
+  "/root/repo/src/precon/engine.cc" "src/CMakeFiles/tracepre.dir/precon/engine.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/precon/engine.cc.o.d"
+  "/root/repo/src/precon/region.cc" "src/CMakeFiles/tracepre.dir/precon/region.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/precon/region.cc.o.d"
+  "/root/repo/src/precon/start_point_stack.cc" "src/CMakeFiles/tracepre.dir/precon/start_point_stack.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/precon/start_point_stack.cc.o.d"
+  "/root/repo/src/prep/const_prop.cc" "src/CMakeFiles/tracepre.dir/prep/const_prop.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/prep/const_prop.cc.o.d"
+  "/root/repo/src/prep/dataflow.cc" "src/CMakeFiles/tracepre.dir/prep/dataflow.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/prep/dataflow.cc.o.d"
+  "/root/repo/src/prep/fuse.cc" "src/CMakeFiles/tracepre.dir/prep/fuse.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/prep/fuse.cc.o.d"
+  "/root/repo/src/prep/preprocessor.cc" "src/CMakeFiles/tracepre.dir/prep/preprocessor.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/prep/preprocessor.cc.o.d"
+  "/root/repo/src/prep/scheduler.cc" "src/CMakeFiles/tracepre.dir/prep/scheduler.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/prep/scheduler.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/tracepre.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/CMakeFiles/tracepre.dir/sim/report.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/sim/report.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/tracepre.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/sweep.cc" "src/CMakeFiles/tracepre.dir/sim/sweep.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/sim/sweep.cc.o.d"
+  "/root/repo/src/tproc/backend.cc" "src/CMakeFiles/tracepre.dir/tproc/backend.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/tproc/backend.cc.o.d"
+  "/root/repo/src/tproc/fast_sim.cc" "src/CMakeFiles/tracepre.dir/tproc/fast_sim.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/tproc/fast_sim.cc.o.d"
+  "/root/repo/src/tproc/partition_sim.cc" "src/CMakeFiles/tracepre.dir/tproc/partition_sim.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/tproc/partition_sim.cc.o.d"
+  "/root/repo/src/tproc/processor.cc" "src/CMakeFiles/tracepre.dir/tproc/processor.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/tproc/processor.cc.o.d"
+  "/root/repo/src/trace/fill_unit.cc" "src/CMakeFiles/tracepre.dir/trace/fill_unit.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/trace/fill_unit.cc.o.d"
+  "/root/repo/src/trace/selector.cc" "src/CMakeFiles/tracepre.dir/trace/selector.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/trace/selector.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/tracepre.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_cache.cc" "src/CMakeFiles/tracepre.dir/trace/trace_cache.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/trace/trace_cache.cc.o.d"
+  "/root/repo/src/trace/unified_cache.cc" "src/CMakeFiles/tracepre.dir/trace/unified_cache.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/trace/unified_cache.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/tracepre.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/tracepre.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/tracepre.dir/workload/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

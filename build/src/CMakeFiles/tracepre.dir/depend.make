@@ -1,0 +1,2 @@
+# Empty dependencies file for tracepre.
+# This may be replaced when dependencies are built.

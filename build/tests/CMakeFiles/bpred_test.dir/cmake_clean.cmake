@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpred_test.dir/bpred_test.cc.o"
+  "CMakeFiles/bpred_test.dir/bpred_test.cc.o.d"
+  "bpred_test"
+  "bpred_test.pdb"
+  "bpred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/func_test.dir/func_test.cc.o"
+  "CMakeFiles/func_test.dir/func_test.cc.o.d"
+  "func_test"
+  "func_test.pdb"
+  "func_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/func_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

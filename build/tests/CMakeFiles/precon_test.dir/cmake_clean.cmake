@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precon_test.dir/precon_test.cc.o"
+  "CMakeFiles/precon_test.dir/precon_test.cc.o.d"
+  "precon_test"
+  "precon_test.pdb"
+  "precon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

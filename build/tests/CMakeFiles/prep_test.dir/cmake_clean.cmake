@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prep_test.dir/prep_test.cc.o"
+  "CMakeFiles/prep_test.dir/prep_test.cc.o.d"
+  "prep_test"
+  "prep_test.pdb"
+  "prep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

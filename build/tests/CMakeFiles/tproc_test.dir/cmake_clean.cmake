@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tproc_test.dir/tproc_test.cc.o"
+  "CMakeFiles/tproc_test.dir/tproc_test.cc.o.d"
+  "tproc_test"
+  "tproc_test.pdb"
+  "tproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

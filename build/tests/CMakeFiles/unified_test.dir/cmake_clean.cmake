@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unified_test.dir/unified_test.cc.o"
+  "CMakeFiles/unified_test.dir/unified_test.cc.o.d"
+  "unified_test"
+  "unified_test.pdb"
+  "unified_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unified_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
