@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/stats_check.hh"
+#include "common/logging.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
@@ -35,6 +37,23 @@ banner(const char *what, const char *paper_expectation)
     std::printf("Paper expectation: %s\n", paper_expectation);
     std::printf("==============================================="
                 "=================\n");
+}
+
+/**
+ * Sanity-check one experiment's statistics before its numbers go
+ * into a table: counters must be conserved (a figure built on a
+ * leaking counter is silently wrong). Panics on violation.
+ */
+inline const SimResult &
+verified(const SimResult &r)
+{
+    if (r.instructions == 0)
+        panic("benchmark run committed no instructions");
+    if (r.tcMisses > r.traces)
+        panic("trace-cache misses exceed traces fetched");
+    check::enforce(check::preconStatsSane(r.precon),
+                   "benchmark result");
+    return r;
 }
 
 } // namespace tpre::bench

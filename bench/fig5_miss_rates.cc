@@ -44,7 +44,7 @@ main()
             SimConfig cfg = base;
             cfg.traceCacheEntries = p.tcEntries;
             cfg.preconBufferEntries = p.pbEntries;
-            const SimResult r = sim.run(cfg);
+            const SimResult r = bench::verified(sim.run(cfg));
 
             char label[48];
             std::snprintf(label, sizeof(label), "%zuTC+%zuPB",

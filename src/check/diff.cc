@@ -1,0 +1,315 @@
+#include "check/diff.hh"
+
+#include <sstream>
+
+#include "check/stats_check.hh"
+#include "isa/disasm.hh"
+#include "trace/fill_unit.hh"
+
+namespace tpre::check
+{
+
+namespace
+{
+
+/** Trace-boundary record kept per model for cross-comparison. */
+struct Boundary
+{
+    TraceId id;
+    unsigned len = 0;
+    TraceEndReason endReason = TraceEndReason::MaxLength;
+    Addr fallThrough = invalidAddr;
+};
+
+Boundary
+boundaryOf(const Trace &t)
+{
+    return {t.id, t.len(), t.endReason, t.fallThrough};
+}
+
+std::string
+describeInst(const DynInst &dyn)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << dyn.pc << ": "
+       << disassemble(dyn.inst, dyn.pc) << " -> 0x" << dyn.nextPc
+       << (dyn.taken ? " taken" : "")
+       << (dyn.inst.isLoad() || dyn.inst.isStore()
+               ? " ea=0x" + [&] {
+                     std::ostringstream ea;
+                     ea << std::hex << dyn.effAddr;
+                     return ea.str();
+                 }()
+               : "");
+    return os.str();
+}
+
+bool
+sameDyn(const DynInst &a, const DynInst &b)
+{
+    return a.pc == b.pc && a.inst == b.inst && a.nextPc == b.nextPc &&
+           a.taken == b.taken && a.effAddr == b.effAddr;
+}
+
+/**
+ * Compare @p stream against the reference prefix-wise; @p exact
+ * additionally demands equal lengths.
+ */
+std::optional<std::string>
+compareStreams(const char *model, const std::vector<DynInst> &ref,
+               const std::vector<DynInst> &stream, bool exact)
+{
+    const std::size_t n = std::min(ref.size(), stream.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!sameDyn(ref[i], stream[i])) {
+            std::ostringstream os;
+            os << model << "-stream: divergence at committed "
+               << "instruction " << i << ": reference "
+               << describeInst(ref[i]) << " but model "
+               << describeInst(stream[i]);
+            return os.str();
+        }
+    }
+    if (exact && ref.size() != stream.size()) {
+        std::ostringstream os;
+        os << model << "-stream: model committed " << stream.size()
+           << " instructions, reference " << ref.size();
+        return os.str();
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+compareBoundaries(const char *model, const std::vector<Trace> &ref,
+                  const std::vector<Boundary> &got, bool exact)
+{
+    const std::size_t n = std::min(ref.size(), got.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const Boundary want = boundaryOf(ref[i]);
+        const Boundary &have = got[i];
+        if (!(want.id == have.id) || want.len != have.len ||
+            want.endReason != have.endReason ||
+            want.fallThrough != have.fallThrough) {
+            std::ostringstream os;
+            os << model << "-boundary: trace " << i
+               << " disagrees with the shared selection rules: "
+               << "reference @0x" << std::hex << want.id.startPc
+               << std::dec << " len " << want.len << " reason "
+               << unsigned(static_cast<std::uint8_t>(want.endReason))
+               << ", model @0x" << std::hex << have.id.startPc
+               << std::dec << " len " << have.len << " reason "
+               << unsigned(static_cast<std::uint8_t>(have.endReason));
+            return os.str();
+        }
+    }
+    if (exact && ref.size() != got.size()) {
+        std::ostringstream os;
+        os << model << "-boundary: model fetched " << got.size()
+           << " traces, reference segmented " << ref.size();
+        return os.str();
+    }
+    return std::nullopt;
+}
+
+std::optional<std::string>
+prefixed(const char *model, Violation v)
+{
+    if (!v)
+        return std::nullopt;
+    return std::string(model) + "-" + *v;
+}
+
+/** Hook state collected from one simulator run. */
+struct Observed
+{
+    std::vector<DynInst> stream;
+    std::vector<Boundary> boundaries;
+    Violation served;
+};
+
+SimHooks
+tapsFor(Observed &obs, bool archCheckPreprocessed)
+{
+    SimHooks hooks;
+    hooks.onCommit = [&obs](const DynInst &dyn) {
+        obs.stream.push_back(dyn);
+    };
+    hooks.onTrace = [&obs, archCheckPreprocessed](
+                        const Trace &demanded, const Trace &served,
+                        bool) {
+        obs.boundaries.push_back(boundaryOf(demanded));
+        if (obs.served)
+            return;
+        obs.served = tracesMatch(demanded, served);
+        if (!obs.served && archCheckPreprocessed &&
+            served.preprocessed) {
+            obs.served = tracesArchEquivalent(
+                demanded, served, demanded.id.hash());
+        }
+    };
+    return hooks;
+}
+
+} // namespace
+
+RefRun
+referenceRun(const Program &program, const SelectionPolicy &policy,
+             InstCount maxInsts)
+{
+    RefRun run;
+    ArchState state;
+    state.setReg(stackReg, FunctionalCore::initialStack);
+    Addr pc = program.entry();
+    FillUnit segmenter(policy);
+    InstCount committed = 0;
+
+    while (!run.halted && committed < maxInsts) {
+        if (!program.contains(pc)) {
+            run.leftImage = true;
+            break;
+        }
+        const Instruction &inst = program.instAt(pc);
+        const ExecResult res = executeInst(inst, pc, state);
+
+        DynInst dyn;
+        dyn.pc = pc;
+        dyn.inst = inst;
+        dyn.nextPc = res.nextPc;
+        dyn.taken = res.taken;
+        dyn.effAddr = res.effAddr;
+        run.stream.push_back(dyn);
+
+        run.halted = res.halted;
+        pc = res.nextPc;
+
+        if (auto trace = segmenter.feed(dyn)) {
+            committed += trace->len();
+            run.traces.push_back(std::move(*trace));
+        }
+    }
+    if (auto trace = segmenter.flush())
+        run.traces.push_back(std::move(*trace));
+    return run;
+}
+
+DiffResult
+diffModels(const Program &program, const DiffConfig &cfg)
+{
+    DiffResult result;
+    const RefRun ref =
+        referenceRun(program, cfg.selection, cfg.maxInsts);
+    result.instructions = ref.stream.size();
+    result.traces = ref.traces.size();
+
+    if (ref.leftImage) {
+        result.failure = "invalid-program: control flow leaves the "
+                         "code image";
+        return result;
+    }
+
+    // The reference segmentation itself must obey the selection
+    // rules (this is the independent re-derivation that catches
+    // TraceBuilder bugs both models would otherwise share). Only a
+    // trace flushed mid-assembly may stop short.
+    for (std::size_t i = 0; i < ref.traces.size(); ++i) {
+        const bool partial =
+            i + 1 == ref.traces.size() && !ref.halted &&
+            ref.traces[i].endReason == TraceEndReason::MaxLength &&
+            ref.traces[i].len() < cfg.selection.maxLen;
+        if (Violation v = traceWellFormed(ref.traces[i],
+                                          cfg.selection, partial)) {
+            result.failure = "reference-" + *v;
+            return result;
+        }
+    }
+    if (Violation v = streamCallRetBalanced(ref.stream, ref.halted)) {
+        result.failure = *v;
+        return result;
+    }
+
+    // --- FastSim -------------------------------------------------
+    {
+        Observed obs;
+        FastSimConfig fcfg;
+        fcfg.traceCacheEntries = cfg.traceCacheEntries;
+        fcfg.traceCacheAssoc = cfg.traceCacheAssoc;
+        fcfg.selection = cfg.selection;
+        fcfg.preconEnabled = cfg.preconEnabled;
+        fcfg.precon = cfg.precon;
+        fcfg.hooks = tapsFor(obs, false);
+
+        FastSim sim(program, fcfg);
+        const FastSimStats &stats = sim.run(cfg.maxInsts);
+
+        if (obs.served) {
+            result.failure = prefixed("fastsim", obs.served);
+            return result;
+        }
+        if (auto f = compareStreams("fastsim", ref.stream, obs.stream,
+                                    true)) {
+            result.failure = f;
+            return result;
+        }
+        if (auto f = compareBoundaries("fastsim", ref.traces,
+                                       obs.boundaries, true)) {
+            result.failure = f;
+            return result;
+        }
+        if (auto f = prefixed("fastsim", statsConserved(stats))) {
+            result.failure = f;
+            return result;
+        }
+        if (sim.engine()) {
+            if (auto f = prefixed(
+                    "fastsim",
+                    buffersWellFormed(sim.engine()->buffers(),
+                                      cfg.selection))) {
+                result.failure = f;
+                return result;
+            }
+        }
+    }
+
+    // --- Full TraceProcessor ------------------------------------
+    if (cfg.runProcessor) {
+        Observed obs;
+        ProcessorConfig pcfg;
+        pcfg.traceCacheEntries = cfg.traceCacheEntries;
+        pcfg.traceCacheAssoc = cfg.traceCacheAssoc;
+        pcfg.selection = cfg.selection;
+        pcfg.preconEnabled = cfg.preconEnabled;
+        pcfg.precon = cfg.precon;
+        pcfg.prepEnabled = cfg.prepEnabled;
+        pcfg.hooks = tapsFor(obs, true);
+
+        TraceProcessor proc(program, pcfg);
+        const ProcessorStats &stats = proc.run(cfg.maxInsts);
+
+        if (obs.served) {
+            result.failure = prefixed("processor", obs.served);
+            return result;
+        }
+        // Dispatch runs ahead of retirement, so on a budget stop the
+        // processor's stream may legitimately be shorter or longer
+        // than the reference; it must agree on the common prefix and
+        // exactly when the program ran to completion.
+        if (auto f = compareStreams("processor", ref.stream,
+                                    obs.stream, ref.halted)) {
+            result.failure = f;
+            return result;
+        }
+        if (auto f = compareBoundaries("processor", ref.traces,
+                                       obs.boundaries, ref.halted)) {
+            result.failure = f;
+            return result;
+        }
+        if (auto f = prefixed("processor", statsConserved(stats))) {
+            result.failure = f;
+            return result;
+        }
+    }
+
+    return result;
+}
+
+} // namespace tpre::check

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The differential oracle: runs one program through the three
+ * execution models — a reference architectural interpreter built
+ * directly on executeInst(), FastSim's committed dynamic stream, and
+ * the full TraceProcessor's dispatch stream — and asserts
+ * instruction-by-instruction architectural equivalence plus
+ * agreement on trace boundaries under the shared SelectionPolicy.
+ * Served trace images, end-of-run statistics conservation and the
+ * preconstruction buffer contents are checked along the way.
+ *
+ * Every failure is reported as a "category: detail" string whose
+ * category prefix is stable, so the fuzzer can shrink against "the
+ * same kind of failure".
+ */
+
+#ifndef TPRE_CHECK_DIFF_HH
+#define TPRE_CHECK_DIFF_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "tproc/fast_sim.hh"
+#include "tproc/processor.hh"
+
+namespace tpre::check
+{
+
+/** Result of the reference (architectural) run. */
+struct RefRun
+{
+    /** The committed dynamic stream, in program order. */
+    std::vector<DynInst> stream;
+    /** The stream segmented under the shared selection rules. */
+    std::vector<Trace> traces;
+    /** The program executed its Halt instruction. */
+    bool halted = false;
+    /**
+     * Control flow left the code image (possible only for mutilated
+     * fuzz candidates; the reference interpreter stops instead of
+     * faulting, and diffModels() refuses the program).
+     */
+    bool leftImage = false;
+};
+
+/**
+ * Execute @p program architecturally for up to @p maxInsts
+ * committed instructions, mirroring FastSim's stopping rule: the
+ * run continues to the end of the trace that crosses the budget.
+ */
+RefRun referenceRun(const Program &program,
+                    const SelectionPolicy &policy, InstCount maxInsts);
+
+/** Differential-oracle configuration. */
+struct DiffConfig
+{
+    InstCount maxInsts = 100000;
+    SelectionPolicy selection;
+    std::size_t traceCacheEntries = 64;
+    unsigned traceCacheAssoc = 2;
+    bool preconEnabled = true;
+    PreconConfig precon;
+    /** Also run the full timing-mode TraceProcessor. */
+    bool runProcessor = true;
+    /** Enable trace preprocessing in the TraceProcessor. */
+    bool prepEnabled = false;
+};
+
+/** Outcome of one differential comparison. */
+struct DiffResult
+{
+    /** First failure as "category: detail"; nullopt when clean. */
+    std::optional<std::string> failure;
+    InstCount instructions = 0;
+    std::uint64_t traces = 0;
+
+    bool ok() const { return !failure.has_value(); }
+};
+
+/**
+ * Run @p program through every model and cross-check. The first
+ * divergence or invariant violation is reported; subsequent checks
+ * are skipped.
+ */
+DiffResult diffModels(const Program &program, const DiffConfig &cfg);
+
+} // namespace tpre::check
+
+#endif // TPRE_CHECK_DIFF_HH

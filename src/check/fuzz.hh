@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Randomized differential fuzzing of the workload layer and the
+ * execution models. Each seed produces either a mutated
+ * BenchmarkProfile fed through the WorkloadGenerator or a raw
+ * structured-random ProgramBuilder program, plus a randomized
+ * SelectionPolicy; the case then runs through the diffModels()
+ * oracle. Failures are shrunk with a delta-debugging pass that
+ * nops out instructions (preserving addresses, hence branch
+ * offsets) while the same failure category reproduces.
+ */
+
+#ifndef TPRE_CHECK_FUZZ_HH
+#define TPRE_CHECK_FUZZ_HH
+
+#include <functional>
+
+#include "check/diff.hh"
+#include "workload/generator.hh"
+
+namespace tpre::check
+{
+
+/** How a fuzz case was produced. */
+enum class CaseKind : std::uint8_t
+{
+    /** Mutated BenchmarkProfile through the WorkloadGenerator. */
+    Profile,
+    /** Structured-random raw ProgramBuilder program. */
+    RandomProgram,
+};
+
+/** One reproducible fuzz case (program image + oracle config). */
+struct FuzzCase
+{
+    std::uint64_t seed = 0;
+    CaseKind kind = CaseKind::Profile;
+    /** Human-readable description of the generated case. */
+    std::string description;
+    Addr base = 0;
+    Addr entry = 0;
+    std::vector<InstWord> code;
+    DiffConfig diff;
+
+    /** Materialize the (possibly shrunk) code image. */
+    Program program() const { return Program(base, code, entry); }
+};
+
+/** Deterministically build the case for one seed. */
+FuzzCase makeFuzzCase(std::uint64_t seed, InstCount maxInsts);
+
+/** One surviving (shrunk) failure. */
+struct FuzzFailure
+{
+    FuzzCase shrunk;
+    /** Failure of the original case, as "category: detail". */
+    std::string failure;
+    /** Failure of the shrunk case (same category). */
+    std::string shrunkFailure;
+    /** Non-nop instructions before/after shrinking. */
+    std::size_t originalInsts = 0;
+    std::size_t shrunkInsts = 0;
+};
+
+/** Fuzzing campaign options. */
+struct FuzzOptions
+{
+    std::uint64_t baseSeed = 1;
+    std::uint64_t seeds = 256;
+    /** Committed-instruction budget per case. */
+    InstCount maxInsts = 20000;
+    bool shrink = true;
+    /** Stop the campaign after this many failures. */
+    std::size_t maxFailures = 1;
+    /** Optional per-case progress callback (seed, result). */
+    std::function<void(const FuzzCase &, const DiffResult &)>
+        onCase;
+};
+
+/** Campaign outcome. */
+struct FuzzReport
+{
+    std::uint64_t casesRun = 0;
+    InstCount instructionsExecuted = 0;
+    std::uint64_t tracesChecked = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Run a fuzzing campaign over seeds [baseSeed, baseSeed+seeds). */
+FuzzReport runFuzz(const FuzzOptions &opts);
+
+/** "category" prefix of a "category: detail" failure string. */
+std::string failureCategory(const std::string &failure);
+
+/**
+ * Delta-debug @p failing in place: repeatedly nop out maximal chunks
+ * of instructions while diffModels() still fails with the same
+ * category as @p failure. Returns the failure message of the final
+ * shrunk case. Bounded by @p maxEvals oracle runs.
+ */
+std::string shrinkCase(FuzzCase &failing, const std::string &failure,
+                       std::size_t maxEvals = 600);
+
+} // namespace tpre::check
+
+#endif // TPRE_CHECK_FUZZ_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Observation hooks the timing simulators expose for the tpre::check
+ * differential oracle. Both hooks are null in normal runs; setting
+ * them costs nothing on the simulators' hot paths beyond one branch
+ * per event.
+ */
+
+#ifndef TPRE_CHECK_HOOKS_HH
+#define TPRE_CHECK_HOOKS_HH
+
+#include <functional>
+
+#include "func/core.hh"
+#include "trace/trace.hh"
+
+namespace tpre::check
+{
+
+/** Taps into a simulator's commit and trace-fetch streams. */
+struct SimHooks
+{
+    /**
+     * Called once per committed (architecturally executed) dynamic
+     * instruction, in program order.
+     */
+    std::function<void(const DynInst &)> onCommit;
+
+    /**
+     * Called once per demanded trace with the image the frontend
+     * served for it. @p fromStorage is true when the image came from
+     * the trace cache or a preconstruction buffer rather than the
+     * slow path.
+     */
+    std::function<void(const Trace &demanded, const Trace &served,
+                       bool fromStorage)>
+        onTrace;
+};
+
+} // namespace tpre::check
+
+#endif // TPRE_CHECK_HOOKS_HH

@@ -1,0 +1,356 @@
+#include "check/invariants.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/disasm.hh"
+
+namespace tpre::check
+{
+
+void
+enforce(const Violation &v, const char *where)
+{
+    if (v)
+        panic("invariant violated at %s: %s", where, v->c_str());
+}
+
+namespace
+{
+
+/** Format helper: everything streams into one message. */
+class Msg
+{
+  public:
+    template <typename T>
+    Msg &
+    operator<<(const T &value)
+    {
+        os_ << value;
+        return *this;
+    }
+
+    operator Violation() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+};
+
+/** Hard trace terminators (selection rule 1). */
+bool
+hardTerminator(const Instruction &inst)
+{
+    return inst.isReturn() || inst.isIndirectJump() ||
+           inst.op == Opcode::Halt;
+}
+
+/**
+ * The address execution reaches after @p ti, along the embedded
+ * path; invalidAddr when it cannot be derived statically (indirect
+ * targets).
+ */
+Addr
+embeddedNext(const TraceInst &ti)
+{
+    const Instruction &inst = ti.inst;
+    if (inst.isCondBranch())
+        return ti.taken ? inst.targetOf(ti.pc)
+                        : Instruction::fallThrough(ti.pc);
+    if (inst.isDirectJump())
+        return inst.targetOf(ti.pc);
+    if (hardTerminator(inst))
+        return invalidAddr;
+    return Instruction::fallThrough(ti.pc);
+}
+
+/** Re-derive the TraceBuilder's rule-2/3 target length. */
+unsigned
+ruleTargetLen(const Trace &t, const SelectionPolicy &policy,
+              int lastBackward)
+{
+    if (lastBackward < 0 || policy.alignGranule == 0)
+        return policy.maxLen;
+    const unsigned beyond = static_cast<unsigned>(lastBackward) + 1;
+    const unsigned room = policy.maxLen - beyond;
+    (void)t;
+    return beyond + policy.alignGranule * (room / policy.alignGranule);
+}
+
+} // namespace
+
+Violation
+traceWellFormed(const Trace &t, const SelectionPolicy &policy,
+                bool partial)
+{
+    if (!t.id.valid())
+        return Msg() << "trace-well-formed: invalid TraceId";
+    if (t.insts.empty())
+        return Msg() << "trace-well-formed: empty trace @0x"
+                     << std::hex << t.id.startPc;
+    if (t.len() > policy.maxLen)
+        return Msg() << "trace-well-formed: length " << t.len()
+                     << " exceeds policy cap " << policy.maxLen;
+    if (t.id.startPc != t.insts.front().pc)
+        return Msg() << "trace-well-formed: id.startPc 0x" << std::hex
+                     << t.id.startPc << " != first inst pc 0x"
+                     << t.insts.front().pc;
+
+    // Branch accounting: flags mirror the embedded outcomes.
+    unsigned branches = 0;
+    std::uint16_t flags = 0;
+    int last_backward = -1;
+    for (unsigned i = 0; i < t.len(); ++i) {
+        const TraceInst &ti = t.insts[i];
+        if (!ti.inst.isCondBranch())
+            continue;
+        if (branches >= 16)
+            return Msg() << "trace-well-formed: more than 16 "
+                            "embedded branches";
+        if (ti.taken)
+            flags |= std::uint16_t(1) << branches;
+        ++branches;
+        if (ti.inst.isBackwardBranch())
+            last_backward = static_cast<int>(i);
+    }
+    if (branches != t.id.numBranches)
+        return Msg() << "trace-well-formed: id.numBranches "
+                     << unsigned(t.id.numBranches) << " but trace embeds "
+                     << branches << " conditional branches";
+    if (flags != t.id.branchFlags)
+        return Msg() << "trace-well-formed: id.branchFlags 0x"
+                     << std::hex << t.id.branchFlags
+                     << " disagree with embedded outcomes 0x" << flags;
+
+    // Preprocessing may rewrite, reorder and delete instructions;
+    // only the identity checks above survive it.
+    if (t.preprocessed)
+        return std::nullopt;
+
+    // Path contiguity and hard terminators only in the last slot.
+    for (unsigned i = 0; i + 1 < t.len(); ++i) {
+        const TraceInst &ti = t.insts[i];
+        if (hardTerminator(ti.inst))
+            return Msg() << "trace-well-formed: "
+                         << disassemble(ti.inst, ti.pc)
+                         << " terminates mid-trace at slot " << i;
+        const Addr next = embeddedNext(ti);
+        if (t.insts[i + 1].pc != next)
+            return Msg() << "trace-well-formed: path break after "
+                         << "slot " << i << " (0x" << std::hex << ti.pc
+                         << " -> expected 0x" << next << ", embedded 0x"
+                         << t.insts[i + 1].pc << ")";
+        if (ti.srcPos != i)
+            return Msg() << "trace-well-formed: srcPos "
+                         << unsigned(ti.srcPos) << " at slot " << i
+                         << " of an unpreprocessed trace";
+    }
+
+    // End reason vs. the last instruction, and fall-through.
+    const TraceInst &last = t.insts.back();
+    const bool last_hard = hardTerminator(last.inst);
+    switch (t.endReason) {
+      case TraceEndReason::Return:
+        if (!last.inst.isReturn())
+            return Msg() << "trace-well-formed: endReason Return but "
+                            "last inst is "
+                         << disassemble(last.inst, last.pc);
+        break;
+      case TraceEndReason::IndirectJump:
+        if (!last.inst.isIndirectJump() || last.inst.isReturn())
+            return Msg() << "trace-well-formed: endReason "
+                            "IndirectJump but last inst is "
+                         << disassemble(last.inst, last.pc);
+        break;
+      case TraceEndReason::Halt:
+        if (last.inst.op != Opcode::Halt)
+            return Msg() << "trace-well-formed: endReason Halt but "
+                            "last inst is "
+                         << disassemble(last.inst, last.pc);
+        break;
+      case TraceEndReason::MaxLength:
+      case TraceEndReason::Alignment:
+        if (last_hard)
+            return Msg() << "trace-well-formed: length-based "
+                            "endReason but last inst "
+                         << disassemble(last.inst, last.pc)
+                         << " is a hard terminator";
+        break;
+    }
+    if (last_hard) {
+        if (t.fallThrough != invalidAddr)
+            return Msg() << "trace-well-formed: fallThrough 0x"
+                         << std::hex << t.fallThrough
+                         << " set on a hard-terminated trace";
+    } else {
+        if (t.fallThrough != embeddedNext(last))
+            return Msg() << "trace-well-formed: fallThrough 0x"
+                         << std::hex << t.fallThrough
+                         << " != successor 0x" << embeddedNext(last)
+                         << " of the last instruction";
+    }
+
+    // Selection rules 2/3: a non-hard-terminated trace ends exactly
+    // at the alignment/length target (unless flushed mid-assembly).
+    if (!last_hard && !partial) {
+        const unsigned target = ruleTargetLen(t, policy, last_backward);
+        if (t.len() != target)
+            return Msg() << "trace-well-formed: length " << t.len()
+                         << " violates the selection rules (target "
+                         << target << ", lastBackward " << last_backward
+                         << ", granule " << policy.alignGranule << ")";
+        const bool aligned =
+            last_backward >= 0 && target != policy.maxLen;
+        const TraceEndReason want = aligned ? TraceEndReason::Alignment
+                                            : TraceEndReason::MaxLength;
+        if (t.endReason != want)
+            return Msg() << "trace-well-formed: endReason "
+                         << unsigned(static_cast<std::uint8_t>(
+                                t.endReason))
+                         << " but the selection rules demand "
+                         << unsigned(static_cast<std::uint8_t>(want));
+    }
+    return std::nullopt;
+}
+
+Violation
+tracesMatch(const Trace &expected, const Trace &served)
+{
+    if (!(expected.id == served.id))
+        return Msg() << "served-trace: identity mismatch (@0x"
+                     << std::hex << expected.id.startPc << " flags 0x"
+                     << expected.id.branchFlags << "/"
+                     << std::dec << unsigned(expected.id.numBranches)
+                     << " vs @0x" << std::hex << served.id.startPc
+                     << " flags 0x" << served.id.branchFlags << "/"
+                     << std::dec << unsigned(served.id.numBranches)
+                     << ")";
+    // Preprocessed traces are compared by the architectural
+    // equivalence checker instead (content legitimately differs).
+    if (served.preprocessed)
+        return std::nullopt;
+    if (expected.len() != served.len())
+        return Msg() << "served-trace: @0x" << std::hex
+                     << expected.id.startPc << std::dec << " length "
+                     << served.len() << " served for demanded length "
+                     << expected.len();
+    for (unsigned i = 0; i < expected.len(); ++i) {
+        const TraceInst &a = expected.insts[i];
+        const TraceInst &b = served.insts[i];
+        if (a.pc != b.pc || !(a.inst == b.inst) || a.taken != b.taken)
+            return Msg() << "served-trace: @0x" << std::hex
+                         << expected.id.startPc << " slot " << std::dec
+                         << i << " demanded '"
+                         << disassemble(a.inst, a.pc) << "' (pc 0x"
+                         << std::hex << a.pc << ", taken " << a.taken
+                         << ") but served '"
+                         << disassemble(b.inst, b.pc) << "' (pc 0x"
+                         << b.pc << ", taken " << b.taken << ")";
+    }
+    if (expected.fallThrough != served.fallThrough)
+        return Msg() << "served-trace: @0x" << std::hex
+                     << expected.id.startPc << " fallThrough 0x"
+                     << served.fallThrough << " served, 0x"
+                     << expected.fallThrough << " demanded";
+    return std::nullopt;
+}
+
+Violation
+tracesArchEquivalent(const Trace &original, const Trace &processed,
+                     std::uint64_t seed)
+{
+    // Identical randomized register files; memory starts empty in
+    // both, so value agreement at every touched address implies the
+    // store streams agree too.
+    Rng rng(seed);
+    ArchState sa, sb;
+    for (RegIndex r = 1; r < numArchRegs; ++r) {
+        const RegValue v = rng.next();
+        sa.setReg(r, v);
+        sb.setReg(r, v);
+    }
+
+    std::unordered_set<Addr> touched;
+    auto run = [&touched](const Trace &t, ArchState &state) {
+        for (const TraceInst &ti : t.insts) {
+            const ExecResult res = executeInst(ti.inst, ti.pc, state);
+            if (ti.inst.isLoad() || ti.inst.isStore())
+                touched.insert(res.effAddr & ~Addr(7));
+        }
+    };
+    run(original, sa);
+    run(processed, sb);
+
+    for (RegIndex r = 0; r < numArchRegs; ++r) {
+        if (sa.reg(r) != sb.reg(r))
+            return Msg() << "arch-equivalence: r" << unsigned(r)
+                         << " = 0x" << std::hex << sb.reg(r)
+                         << " after the processed trace @0x"
+                         << original.id.startPc << ", 0x" << sa.reg(r)
+                         << " after the original";
+    }
+    for (Addr addr : touched) {
+        if (sa.mem.read(addr) != sb.mem.read(addr))
+            return Msg() << "arch-equivalence: mem[0x" << std::hex
+                         << addr << "] = 0x" << sb.mem.read(addr)
+                         << " after the processed trace @0x"
+                         << original.id.startPc << ", 0x"
+                         << sa.mem.read(addr)
+                         << " after the original";
+    }
+    return std::nullopt;
+}
+
+Violation
+buffersWellFormed(const PreconstructionBuffers &buffers,
+                  const SelectionPolicy &policy)
+{
+    Violation found;
+    buffers.forEachValid([&](const Trace &t, std::uint64_t seq) {
+        if (found)
+            return;
+        if (Violation v = traceWellFormed(t, policy))
+            found = Msg() << "precon-buffers: entry of region " << seq
+                          << ": " << *v;
+    });
+    return found;
+}
+
+Violation
+rasWellFormed(const ReturnAddressStack &ras)
+{
+    if (ras.depth() == 0)
+        return Msg() << "ras: zero depth";
+    if (ras.size() > ras.depth())
+        return Msg() << "ras: size " << ras.size()
+                     << " exceeds depth " << ras.depth();
+    if (ras.empty() != (ras.size() == 0))
+        return Msg() << "ras: empty() disagrees with size() = "
+                     << ras.size();
+    if (ras.empty() && ras.top() != invalidAddr)
+        return Msg() << "ras: top() of an empty stack is 0x"
+                     << std::hex << ras.top();
+    return std::nullopt;
+}
+
+Violation
+streamCallRetBalanced(const std::vector<DynInst> &stream, bool halted)
+{
+    std::int64_t depth = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const DynInst &dyn = stream[i];
+        if (dyn.inst.isCall())
+            ++depth;
+        else if (dyn.inst.isReturn() && --depth < 0)
+            return Msg() << "call-ret-balance: return at stream index "
+                         << i << " (pc 0x" << std::hex << dyn.pc
+                         << ") with no matching call";
+    }
+    if (halted && depth != 0)
+        return Msg() << "call-ret-balance: halted stream ends at call "
+                        "depth " << depth;
+    return std::nullopt;
+}
+
+} // namespace tpre::check

@@ -1,0 +1,112 @@
+#include "check/stats_check.hh"
+
+#include <sstream>
+
+namespace tpre::check
+{
+
+namespace
+{
+
+Violation
+fail(const std::string &what)
+{
+    return "stats: " + what;
+}
+
+std::string
+num(std::uint64_t v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+Violation
+icacheStatsSane(const ICache::Stats &s)
+{
+    if (s.demandMisses > s.demandAccesses)
+        return fail("icache demand misses " + num(s.demandMisses) +
+                    " exceed accesses " + num(s.demandAccesses));
+    if (s.preconMisses > s.preconAccesses)
+        return fail("icache precon misses " + num(s.preconMisses) +
+                    " exceed accesses " + num(s.preconAccesses));
+    return std::nullopt;
+}
+
+Violation
+preconStatsSane(const PreconstructionEngine::Stats &s)
+{
+    if (s.tracesBuffered + s.tracesAlreadyInTc > s.tracesConstructed)
+        return fail("precon buffered " + num(s.tracesBuffered) +
+                    " + already-in-tc " + num(s.tracesAlreadyInTc) +
+                    " exceed constructed " + num(s.tracesConstructed));
+    if (s.bufferHits > s.tracesBuffered)
+        return fail("precon buffer hits " + num(s.bufferHits) +
+                    " exceed buffered traces " +
+                    num(s.tracesBuffered));
+    if (s.regionsStarted > s.startPointsPushed)
+        return fail("precon regions started " +
+                    num(s.regionsStarted) +
+                    " exceed start points pushed " +
+                    num(s.startPointsPushed));
+    const std::uint64_t terminated =
+        s.regionsCompleted + s.regionsCaughtUp +
+        s.regionsPrefetchFull + s.regionsBuffersFull + s.regionsWarm;
+    if (terminated > s.regionsStarted)
+        return fail("precon regions terminated " + num(terminated) +
+                    " exceed started " + num(s.regionsStarted));
+    return std::nullopt;
+}
+
+Violation
+statsConserved(const FastSimStats &s)
+{
+    if (s.tcHits + s.pbHits + s.tcMisses != s.traces)
+        return fail("tcHits " + num(s.tcHits) + " + pbHits " +
+                    num(s.pbHits) + " + tcMisses " + num(s.tcMisses) +
+                    " != traces fetched " + num(s.traces));
+    if (s.slowPathInstsFromMisses > s.slowPathInsts)
+        return fail("slow-path insts from misses " +
+                    num(s.slowPathInstsFromMisses) +
+                    " exceed slow-path insts " + num(s.slowPathInsts));
+    if (s.slowPathInsts > s.instructions)
+        return fail("slow-path insts " + num(s.slowPathInsts) +
+                    " exceed committed instructions " +
+                    num(s.instructions));
+    if (s.missFirstSeen + s.missRepeat != 0 &&
+        s.missFirstSeen + s.missRepeat != s.tcMisses)
+        return fail("miss diagnostics " +
+                    num(s.missFirstSeen + s.missRepeat) +
+                    " do not partition tcMisses " + num(s.tcMisses));
+    if (Violation v = icacheStatsSane(s.icache))
+        return v;
+    return preconStatsSane(s.precon);
+}
+
+Violation
+statsConserved(const ProcessorStats &s)
+{
+    // The processor chains the next trace's TC lookup into the
+    // dispatch cycle, so a budget stop can leave exactly one counted
+    // lookup whose trace never dispatched.
+    const std::uint64_t lookups = s.tcHits + s.pbHits + s.tcMisses;
+    if (lookups != s.traces && lookups != s.traces + 1)
+        return fail("tcHits " + num(s.tcHits) + " + pbHits " +
+                    num(s.pbHits) + " + tcMisses " + num(s.tcMisses) +
+                    " != traces fetched " + num(s.traces) +
+                    " (nor one in-flight lookup more)");
+    // The last dispatched trace gets no successor prediction, so the
+    // predictor outcome counters cover at most traces - 1.
+    if (s.ntpCorrect + s.ntpWrong + s.ntpNone > s.traces)
+        return fail("next-trace predictor outcomes " +
+                    num(s.ntpCorrect + s.ntpWrong + s.ntpNone) +
+                    " exceed traces " + num(s.traces));
+    if (Violation v = icacheStatsSane(s.icache))
+        return v;
+    return preconStatsSane(s.precon);
+}
+
+} // namespace tpre::check

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Conservation checks over end-of-run statistics: every fetched
+ * trace is accounted for exactly once (tcHits + pbHits + tcMisses ==
+ * traces), cache miss counters never exceed access counters, and the
+ * preconstruction engine's region/trace ledgers stay consistent.
+ * Violations here mean double counting or lost events, which would
+ * silently corrupt every table and figure the simulators produce.
+ */
+
+#ifndef TPRE_CHECK_STATS_CHECK_HH
+#define TPRE_CHECK_STATS_CHECK_HH
+
+#include "check/invariants.hh"
+#include "tproc/fast_sim.hh"
+#include "tproc/processor.hh"
+
+namespace tpre::check
+{
+
+/** Conservation of the I-cache access/miss counters. */
+Violation icacheStatsSane(const ICache::Stats &s);
+
+/** Conservation of the preconstruction engine's ledgers. */
+Violation preconStatsSane(const PreconstructionEngine::Stats &s);
+
+/** Conservation across a finished FastSim run. */
+Violation statsConserved(const FastSimStats &s);
+
+/** Conservation across a finished TraceProcessor run. */
+Violation statsConserved(const ProcessorStats &s);
+
+} // namespace tpre::check
+
+#endif // TPRE_CHECK_STATS_CHECK_HH

@@ -114,4 +114,14 @@ PreconstructionBuffers::numValid() const
     return count;
 }
 
+void
+PreconstructionBuffers::forEachValid(
+    const std::function<void(const Trace &, std::uint64_t)> &fn) const
+{
+    for (const Entry &entry : entries_) {
+        if (entry.valid)
+            fn(entry.trace, entry.regionSeq);
+    }
+}
+
 } // namespace tpre

@@ -12,6 +12,7 @@
 #ifndef TPRE_PRECON_BUFFERS_HH
 #define TPRE_PRECON_BUFFERS_HH
 
+#include <functional>
 #include <vector>
 
 #include "trace/trace.hh"
@@ -71,6 +72,11 @@ class PreconstructionBuffers : public PreconStore
     bool invalidate(const TraceId &id) override;
 
     void clear();
+
+    /** Visit every valid entry (tpre::check invariant sweeps). */
+    void forEachValid(
+        const std::function<void(const Trace &, std::uint64_t)> &fn)
+        const;
 
     std::size_t numEntries() const { return entries_.size(); }
     std::size_t numValid() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
+#include "check/invariants.hh"
 #include "common/logging.hh"
 
 namespace tpre
@@ -97,6 +99,10 @@ PreconstructionEngine::observeMisspeculation(
 bool
 PreconstructionEngine::emitTrace(Region &region, Trace trace)
 {
+    tpre_check_run(check::enforce(
+        check::traceWellFormed(trace, config_.policy.selection),
+        "PreconstructionEngine emitTrace"));
+
     ++stats_.tracesConstructed;
     ++region.tracesEmitted;
     // Avoid redundancy with the primary trace cache (Section 3.1).

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
+#include "check/invariants.hh"
+#include "check/stats_check.hh"
 #include "common/logging.hh"
 
 namespace tpre
@@ -26,8 +29,12 @@ FastSim::~FastSim() = default;
 
 void
 FastSim::processTrace(const std::vector<DynInst> &window,
-                      Trace &&trace)
+                      Trace &&trace, bool partial)
 {
+    tpre_check_run(check::enforce(
+        check::traceWellFormed(trace, config_.selection, partial),
+        "FastSim segmented trace"));
+
     ++stats_.traces;
     stats_.instructions += trace.len();
 
@@ -38,7 +45,8 @@ FastSim::processTrace(const std::vector<DynInst> &window,
             ++stats_.traceWorkingSet;
     }
 
-    bool hit = traceCache_.lookup(trace.id) != nullptr;
+    const Trace *stored = traceCache_.lookup(trace.id);
+    const bool hit = stored != nullptr;
     bool pb_hit = false;
     if (!hit && engine_) {
         const Trace *buffered = engine_->lookupBuffer(trace.id);
@@ -47,9 +55,21 @@ FastSim::processTrace(const std::vector<DynInst> &window,
             // and free the buffer entry (Section 3.1).
             traceCache_.insert(*buffered);
             engine_->consumeHit(trace.id);
+            stored = traceCache_.lookup(trace.id);
             pb_hit = true;
         }
     }
+
+    // The stored image must carry exactly the instructions the
+    // architectural path demands.
+    if (stored) {
+        tpre_check_run(check::enforce(
+            check::tracesMatch(trace, *stored),
+            "FastSim trace-cache service"));
+    }
+    if (config_.hooks.onTrace)
+        config_.hooks.onTrace(trace, stored ? *stored : trace,
+                              stored != nullptr);
 
     Cycle trace_cycles = 0;
     bool slow_path_busy = false;
@@ -115,6 +135,8 @@ FastSim::processTrace(const std::vector<DynInst> &window,
             bimodal_.update(dyn.pc, dyn.taken);
         if (engine_)
             engine_->observeDispatch(dyn);
+        if (config_.hooks.onCommit)
+            config_.hooks.onCommit(dyn);
     }
 
     if (engine_) {
@@ -145,19 +167,21 @@ FastSim::run(InstCount maxInsts)
         const DynInst &dyn = core_.step();
         window.push_back(dyn);
         if (auto trace = segmenter_.feed(dyn)) {
-            processTrace(window, std::move(*trace));
+            processTrace(window, std::move(*trace), false);
             window.clear();
         }
     }
 
     if (auto trace = segmenter_.flush()) {
-        processTrace(window, std::move(*trace));
+        processTrace(window, std::move(*trace), true);
         window.clear();
     }
 
     stats_.icache = icache_.stats();
     if (engine_)
         stats_.precon = engine_->stats();
+    tpre_check_run(check::enforce(check::statsConserved(stats_),
+                                  "FastSim end of run"));
     return stats_;
 }
 

@@ -19,6 +19,7 @@
 
 #include "bpred/bimodal.hh"
 #include "cache/icache.hh"
+#include "check/hooks.hh"
 #include "func/core.hh"
 #include "precon/engine.hh"
 #include "trace/fill_unit.hh"
@@ -51,6 +52,8 @@ struct FastSimConfig
     bool trackTraceWorkingSet = false;
     /** Extra (slower) miss-classification diagnostics. */
     bool diagnostics = false;
+    /** Commit/trace taps for the tpre::check differential oracle. */
+    check::SimHooks hooks;
 };
 
 /** Results of a fast frontend simulation. */
@@ -115,7 +118,7 @@ class FastSim
 
   private:
     void processTrace(const std::vector<DynInst> &window,
-                      Trace &&trace);
+                      Trace &&trace, bool partial);
 
     const Program &program_;
     FastSimConfig config_;

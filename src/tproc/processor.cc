@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "check/check.hh"
+#include "check/invariants.hh"
+#include "check/stats_check.hh"
 #include "common/logging.hh"
 
 namespace tpre
@@ -39,8 +42,13 @@ TraceProcessor::advanceOracle()
 {
     while (oracle_.size() < 4 && !oracleDone_) {
         if (core_.halted()) {
-            if (auto t = segmenter_.flush())
+            if (auto t = segmenter_.flush()) {
+                tpre_check_run(check::enforce(
+                    check::traceWellFormed(*t, config_.selection,
+                                           true),
+                    "TraceProcessor flushed trace"));
                 oracle_.push_back({std::move(*t), window_});
+            }
             window_.clear();
             oracleDone_ = true;
             break;
@@ -48,6 +56,9 @@ TraceProcessor::advanceOracle()
         const DynInst &dyn = core_.step();
         window_.push_back(dyn);
         if (auto t = segmenter_.feed(dyn)) {
+            tpre_check_run(check::enforce(
+                check::traceWellFormed(*t, config_.selection, false),
+                "TraceProcessor segmented trace"));
             oracle_.push_back({std::move(*t), std::move(window_)});
             window_.clear();
         }
@@ -114,6 +125,8 @@ TraceProcessor::slowFetch(const PendingTrace &pending)
         if (dyn.inst.isCall())
             ras_.push(Instruction::fallThrough(dyn.pc));
     }
+    tpre_check_run(check::enforce(check::rasWellFormed(ras_),
+                                  "TraceProcessor slow-path RAS"));
     return cycles;
 }
 
@@ -178,6 +191,15 @@ TraceProcessor::dispatchFront()
     dispatchedLens_.push_back(front.trace.len());
     ++stats_.traces;
 
+    // The dispatched image must carry the instructions the oracle
+    // demands (preprocessed images are compared by identity only).
+    tpre_check_run(check::enforce(
+        check::tracesMatch(front.trace, dispatchTrace_),
+        "TraceProcessor dispatch"));
+    if (config_.hooks.onTrace)
+        config_.hooks.onTrace(front.trace, dispatchTrace_,
+                              !fetchWasSlow_);
+
     bool contains_call = false;
     for (const TraceInst &ti : front.trace.insts)
         contains_call |= ti.inst.isCall();
@@ -190,6 +212,8 @@ TraceProcessor::dispatchFront()
             bimodal_.update(dyn.pc, dyn.taken);
         if (engine_)
             engine_->observeDispatch(dyn);
+        if (config_.hooks.onCommit)
+            config_.hooks.onCommit(dyn);
     }
 
     // Misprediction discovered inside this trace: the next fetch
@@ -319,6 +343,8 @@ TraceProcessor::run(InstCount maxInsts)
         stats_.precon = engine_->stats();
     if (prep_)
         stats_.prep = prep_->stats();
+    tpre_check_run(check::enforce(check::statsConserved(stats_),
+                                  "TraceProcessor end of run"));
     return stats_;
 }
 

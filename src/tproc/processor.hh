@@ -29,6 +29,7 @@
 #include "bpred/next_trace.hh"
 #include "bpred/ras.hh"
 #include "cache/icache.hh"
+#include "check/hooks.hh"
 #include "precon/engine.hh"
 #include "prep/preprocessor.hh"
 #include "tproc/backend.hh"
@@ -57,6 +58,8 @@ struct ProcessorConfig
     PreconConfig precon;
     bool prepEnabled = false;
     PrepConfig prep;
+    /** Commit/trace taps for the tpre::check differential oracle. */
+    check::SimHooks hooks;
 };
 
 /** Timing-mode statistics. */

@@ -45,8 +45,17 @@ TraceBuilder::append(const Instruction &inst, Addr pc, bool taken,
     tpre_assert(pc == nextPc_, "append() off the embedded path");
     tpre_assert(len() < policy_.maxLen, "append() past trace end");
 
+    // Normalize the taken flag so demand-built and preconstructed
+    // images of the same trace are bit-identical: it carries
+    // information only for conditional branches; unconditional
+    // transfers always "take".
+    const bool stored_taken =
+        inst.isCondBranch()
+            ? taken
+            : inst.isDirectJump() || inst.isIndirectJump() ||
+                  inst.isReturn();
     trace_.insts.push_back(
-        {pc, inst, taken, static_cast<std::uint8_t>(len())});
+        {pc, inst, stored_taken, static_cast<std::uint8_t>(len())});
     nextPc_ = nextPc;
 
     if (inst.isCondBranch()) {

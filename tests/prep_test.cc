@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "check/invariants.hh"
 #include "common/random.hh"
 #include "func/core.hh"
 #include "prep/const_prop.hh"
@@ -377,6 +378,61 @@ INSTANTIATE_TEST_SUITE_P(Benchmarks, PrepEquivalence,
                          [](const auto &info) {
                              return std::string(info.param);
                          });
+
+// ---------------------------------------------------------------
+// Per-pass equivalence properties: each preprocessing pass alone
+// must preserve the architectural effect of a trace — registers
+// AND touched memory — on randomized real traces. Uses the shared
+// check::tracesArchEquivalent() oracle (identical randomized
+// register files, compares the full register file plus every
+// memory word either execution touched).
+// ---------------------------------------------------------------
+
+template <typename Pass>
+void
+expectPassPreservesArchState(const char *passName, Pass pass)
+{
+    WorkloadGenerator gen(specint95Profile("gcc"));
+    auto wl = gen.generate();
+    FunctionalCore core(wl.program);
+    FillUnit fill;
+
+    unsigned tested = 0;
+    InstCount steps = 0;
+    while (!core.halted() && tested < 300 && steps < 400000) {
+        const DynInst &dyn = core.step();
+        ++steps;
+        auto maybe = fill.feed(dyn);
+        if (!maybe)
+            continue;
+        Trace processed = *maybe;
+        pass(processed);
+        const auto violation = check::tracesArchEquivalent(
+            *maybe, processed, 0x9e3779b9 + tested);
+        ASSERT_FALSE(violation.has_value())
+            << passName << ": " << *violation;
+        ++tested;
+    }
+    EXPECT_GE(tested, 200u);
+}
+
+TEST(PrepPassProperty, ConstPropPreservesArchState)
+{
+    expectPassPreservesArchState(
+        "const_prop", [](Trace &t) { constantPropagate(t); });
+}
+
+TEST(PrepPassProperty, FusePreservesArchState)
+{
+    expectPassPreservesArchState(
+        "fuse", [](Trace &t) { fuseShiftAdds(t); });
+}
+
+TEST(PrepPassProperty, SchedulerPreservesArchState)
+{
+    expectPassPreservesArchState(
+        "scheduler", [](Trace &t) { scheduleTrace(t); });
+}
 
 TEST(PreprocessorTest, StatsAccumulate)
 {

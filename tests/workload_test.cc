@@ -65,6 +65,28 @@ TEST_P(GenerateAll, ProgramRunsWithoutFaults)
     EXPECT_FALSE(core.halted());
 }
 
+TEST_P(GenerateAll, ByteIdenticalAcrossInstances)
+{
+    // Same (profile, seed) must give bit-for-bit the same program
+    // from two independent generator instances; every simulator
+    // result in the paper depends on this reproducibility.
+    for (std::uint64_t seed : {7ULL, 99ULL}) {
+        WorkloadGenerator a(specint95Profile(GetParam(), seed));
+        WorkloadGenerator b(specint95Profile(GetParam(), seed));
+        auto wa = a.generate();
+        auto wb = b.generate();
+        ASSERT_EQ(wa.program.base(), wb.program.base());
+        ASSERT_EQ(wa.program.entry(), wb.program.entry());
+        ASSERT_EQ(wa.program.numInsts(), wb.program.numInsts());
+        ASSERT_EQ(wa.funcAddrs, wb.funcAddrs);
+        for (Addr pc = wa.program.base(); pc < wa.program.end();
+             pc += instBytes) {
+            ASSERT_EQ(wa.program.wordAt(pc), wb.program.wordAt(pc))
+                << "word differs at 0x" << std::hex << pc;
+        }
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Suite, GenerateAll,
                          ::testing::Values("compress", "gcc", "go",
                                            "ijpeg", "li", "m88ksim",
