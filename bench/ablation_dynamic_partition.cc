@@ -7,6 +7,11 @@
  * the adaptive hill-climbing controller. The paper observes that
  * gcc prefers a small buffer and go a large one; the adaptive
  * design should track each benchmark's preference without tuning.
+ *
+ * The 3 x 5 design grid mixes Simulator and PartitionSim runs, so
+ * it is sharded through par::runJobs directly (--jobs N /
+ * TPRE_JOBS); only the Simulator-backed split rows carry the full
+ * SimResult schema into BENCH_ablation_dynamic_partition.json.
  */
 
 #include "bench_common.hh"
@@ -14,9 +19,24 @@
 
 using namespace tpre;
 
-int
-main()
+namespace
 {
+
+/** One table row computed by a sharded job. */
+struct Row
+{
+    std::vector<std::string> cells;
+    bool hasSimResult = false;
+    SimResult simResult;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::Harness harness("ablation_dynamic_partition", argc,
+                           argv);
     bench::banner(
         "Dynamic partitioning of trace-cache vs preconstruction "
         "storage (Section 5.1 extension)",
@@ -27,54 +47,74 @@ main()
     Simulator sim;
     const InstCount insts = bench::runLength(1'500'000);
     const std::size_t total = 512; // 32 KB combined
+    const char *names[] = {"gcc", "go", "vortex"};
 
-    for (const char *name : {"gcc", "go", "vortex"}) {
-        TableReport table({"design", "misses/1000", "preconHits",
-                           "finalWays"});
+    // Designs per benchmark: the paper's 50/50 split (Simulator),
+    // unified static 0/1/2 precon ways, unified adaptive.
+    constexpr std::size_t designsPerBench = 5;
+    const std::size_t n = std::size(names) * designsPerBench;
+    std::vector<Row> rows(n);
 
-        // The paper's split design at the classic 50/50 split.
-        SimConfig split;
-        split.benchmark = name;
-        split.maxInsts = insts;
-        split.traceCacheEntries = total / 2;
-        split.preconBufferEntries = total / 2;
-        const SimResult s = sim.run(split);
-        table.addRow({"split 256TC+256PB",
-                      TableReport::num(s.missesPerKi, 2),
-                      TableReport::num(s.pbHits), "-"});
+    par::runJobs(
+        n, harness.jobs(), 7, [&](std::size_t i, Rng &) {
+            const char *name = names[i / designsPerBench];
+            const std::size_t design = i % designsPerBench;
+            Row &row = rows[i];
 
-        const GeneratedWorkload &wl = sim.workload(name, 7);
-        for (unsigned ways = 0; ways <= 2; ++ways) {
+            if (design == 0) {
+                SimConfig split;
+                split.benchmark = name;
+                split.maxInsts = insts;
+                split.traceCacheEntries = total / 2;
+                split.preconBufferEntries = total / 2;
+                const SimResult s = sim.run(split);
+                row.cells = {"split 256TC+256PB",
+                             TableReport::num(s.missesPerKi, 2),
+                             TableReport::num(s.pbHits), "-"};
+                row.hasSimResult = true;
+                row.simResult = s;
+                return;
+            }
+
+            const GeneratedWorkload &wl = sim.workload(name, 7);
             PartitionSimConfig cfg;
             cfg.totalEntries = total;
-            cfg.preconWays = ways;
+            if (design <= 3) {
+                cfg.preconWays = unsigned(design - 1);
+            } else {
+                cfg.preconWays = 1;
+                cfg.adaptive = true;
+            }
             PartitionSim psim(wl.program, cfg);
             const PartitionSimStats &r = psim.run(insts);
+
             char label[48];
-            std::snprintf(label, sizeof(label),
-                          "unified static %u/4 ways", ways);
-            table.addRow({label,
-                          TableReport::num(r.missesPerKiloInst(),
-                                           2),
-                          TableReport::num(r.preconHits),
-                          TableReport::num(
-                              std::uint64_t(r.finalPreconWays))});
+            if (cfg.adaptive)
+                std::snprintf(label, sizeof(label),
+                              "unified adaptive");
+            else
+                std::snprintf(label, sizeof(label),
+                              "unified static %u/4 ways",
+                              cfg.preconWays);
+            row.cells = {label,
+                         TableReport::num(r.missesPerKiloInst(),
+                                          2),
+                         TableReport::num(r.preconHits),
+                         TableReport::num(
+                             std::uint64_t(r.finalPreconWays))};
+        });
+
+    for (std::size_t bi = 0; bi < std::size(names); ++bi) {
+        TableReport table({"design", "misses/1000", "preconHits",
+                           "finalWays"});
+        for (std::size_t d = 0; d < designsPerBench; ++d) {
+            Row &row = rows[bi * designsPerBench + d];
+            if (row.hasSimResult)
+                harness.record(row.simResult);
+            table.addRow(row.cells);
         }
-
-        PartitionSimConfig adaptive;
-        adaptive.totalEntries = total;
-        adaptive.preconWays = 1;
-        adaptive.adaptive = true;
-        PartitionSim psim(wl.program, adaptive);
-        const PartitionSimStats &r = psim.run(insts);
-        table.addRow({"unified adaptive",
-                      TableReport::num(r.missesPerKiloInst(), 2),
-                      TableReport::num(r.preconHits),
-                      TableReport::num(
-                          std::uint64_t(r.finalPreconWays))});
-
-        std::printf("\n--- %s ---\n%s", name,
+        std::printf("\n--- %s ---\n%s", names[bi],
                     table.render().c_str());
     }
-    return 0;
+    return harness.finish();
 }

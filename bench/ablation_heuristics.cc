@@ -7,6 +7,8 @@
  *   - the number of parallel constructors / prefetch caches;
  *   - the region start-point stack depth;
  *   - the decision-stack (fork) depth of the constructors.
+ * The 2 x 9 variant grid is sharded across the parallel sweep
+ * engine (--jobs N / TPRE_JOBS).
  */
 
 #include "bench_common.hh"
@@ -43,8 +45,9 @@ void vDeepForks(SimConfig &c)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness harness("ablation_heuristics", argc, argv);
     bench::banner(
         "Ablations: preconstruction design choices (fast mode, "
         "128TC+128PB)",
@@ -65,10 +68,10 @@ main()
         {"no-forks", vNoForks},
         {"deep-forks", vDeepForks},
     };
+    const char *names[] = {"gcc", "go"};
 
-    for (const char *name : {"gcc", "go"}) {
-        TableReport table({"variant", "misses/1000", "pbHits",
-                           "tracesBuilt"});
+    std::vector<SimConfig> configs;
+    for (const char *name : names) {
         for (const Variant &v : variants) {
             SimConfig cfg;
             cfg.benchmark = name;
@@ -76,7 +79,18 @@ main()
             cfg.traceCacheEntries = 128;
             cfg.preconBufferEntries = 128;
             v.apply(cfg);
-            const SimResult r = sim.run(cfg);
+            configs.push_back(std::move(cfg));
+        }
+    }
+    const std::vector<SimResult> results =
+        par::runParallelGrid(sim, configs, harness.sweepOptions());
+
+    std::size_t idx = 0;
+    for (const char *name : names) {
+        TableReport table({"variant", "misses/1000", "pbHits",
+                           "tracesBuilt"});
+        for (const Variant &v : variants) {
+            const SimResult &r = harness.record(results[idx++]);
             table.addRow({v.name,
                           TableReport::num(r.missesPerKi, 2),
                           TableReport::num(r.pbHits),
@@ -86,5 +100,5 @@ main()
         std::printf("\n--- %s ---\n%s", name,
                     table.render().c_str());
     }
-    return 0;
+    return harness.finish();
 }

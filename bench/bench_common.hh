@@ -1,17 +1,25 @@
 /**
  * @file
- * Shared helpers for the benchmark harnesses: run lengths and the
- * standard header each binary prints.
+ * Shared helpers for the benchmark harnesses: run lengths, the
+ * standard header each binary prints, and the Harness wrapper that
+ * gives every binary --jobs N / TPRE_JOBS sharding plus a
+ * machine-readable BENCH_<name>.json report.
  */
 
 #ifndef TPRE_BENCH_BENCH_COMMON_HH
 #define TPRE_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "check/stats_check.hh"
 #include "common/logging.hh"
+#include "common/parse.hh"
+#include "par/parallel_sweep.hh"
+#include "par/thread_pool.hh"
+#include "sim/json_report.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
@@ -19,12 +27,18 @@
 namespace tpre::bench
 {
 
-/** Default per-run instruction budget (override via TPRE_INSTS). */
+/**
+ * Default per-run instruction budget (override via TPRE_INSTS).
+ * Rejects non-numeric, zero, or negative budgets with a fatal()
+ * naming the bad value instead of letting them flow downstream as
+ * a 0-instruction run with a misleading panic.
+ */
 inline InstCount
 runLength(InstCount fallback)
 {
     if (const char *env = std::getenv("TPRE_INSTS"))
-        return static_cast<InstCount>(std::atoll(env));
+        return static_cast<InstCount>(
+            parsePositiveInt(env, "TPRE_INSTS"));
     return fallback;
 }
 
@@ -55,6 +69,95 @@ verified(const SimResult &r)
                    "benchmark result");
     return r;
 }
+
+/**
+ * Per-binary harness: parses --jobs N (or TPRE_JOBS, or all
+ * hardware threads by default), times the run, collects verified
+ * result rows, and writes BENCH_<name>.json on finish(). Intended
+ * use:
+ *
+ *   int main(int argc, char **argv) {
+ *       bench::Harness harness("fig5_miss_rates", argc, argv);
+ *       ...
+ *       auto rows = par::runParallelGrid(sim, configs,
+ *                                        harness.sweepOptions());
+ *       for (const SimResult &r : rows) harness.record(r);
+ *       return harness.finish();
+ *   }
+ */
+class Harness
+{
+  public:
+    Harness(const char *name, int argc, char **argv)
+        : start_(std::chrono::steady_clock::now()),
+          jobs_(parseCommandLine(argc, argv)),
+          report_(name, jobs_)
+    {
+    }
+
+    /** Worker threads the binary's sweeps shard over. */
+    unsigned jobs() const { return jobs_; }
+
+    /** SweepOptions preset with this run's job count. */
+    par::SweepOptions
+    sweepOptions() const
+    {
+        par::SweepOptions opts;
+        opts.jobs = jobs_;
+        return opts;
+    }
+
+    /** Verify one result row and add it to the JSON report. */
+    const SimResult &
+    record(const SimResult &r)
+    {
+        report_.add(verified(r));
+        return r;
+    }
+
+    /** Write the JSON report; returns the binary's exit status. */
+    int
+    finish()
+    {
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        const std::string path = report_.write(wall);
+        if (path.empty())
+            return 1;
+        std::printf("\n[%u job%s, %.2fs] wrote %s (%zu rows)\n",
+                    jobs_, jobs_ == 1 ? "" : "s", wall,
+                    path.c_str(), report_.rows());
+        return 0;
+    }
+
+  private:
+    static unsigned
+    parseCommandLine(int argc, char **argv)
+    {
+        unsigned jobs = par::defaultJobs();
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--jobs") {
+                if (i + 1 >= argc)
+                    fatal("--jobs needs a value");
+                jobs = parseJobs(argv[++i], "--jobs");
+            } else if (arg.rfind("--jobs=", 0) == 0) {
+                jobs = parseJobs(arg.c_str() + 7, "--jobs");
+            } else {
+                fatal("unknown option '%s' (supported: --jobs N; "
+                      "budget via TPRE_INSTS)",
+                      arg.c_str());
+            }
+        }
+        return jobs;
+    }
+
+    std::chrono::steady_clock::time_point start_;
+    unsigned jobs_;
+    BenchReport report_;
+};
 
 } // namespace tpre::bench
 

@@ -7,6 +7,11 @@
  * benchmark; the paper's result is that the large-working-set
  * benchmarks see 30-80% lower miss rates with preconstruction and
  * that a TC+buffer split beats an equal-area pure trace cache.
+ *
+ * The full (benchmark x size point) grid — 8 x 13 = 104
+ * independent simulations — is sharded across the parallel sweep
+ * engine; pass --jobs N (or set TPRE_JOBS) to pick the worker
+ * count.
  */
 
 #include <map>
@@ -17,8 +22,9 @@
 using namespace tpre;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness harness("fig5_miss_rates", argc, argv);
     bench::banner(
         "Figure 5: trace cache misses per 1000 instructions vs "
         "combined size",
@@ -28,23 +34,35 @@ main()
 
     Simulator sim;
     const InstCount insts = bench::runLength(2'000'000);
+    const std::vector<std::string> &names = specint95Names();
+    const std::vector<SizePoint> grid = figure5Grid();
 
-    for (const std::string &name : specint95Names()) {
+    std::vector<SimConfig> configs;
+    configs.reserve(names.size() * grid.size());
+    for (const std::string &name : names) {
+        for (const SizePoint &p : grid) {
+            SimConfig cfg;
+            cfg.benchmark = name;
+            cfg.maxInsts = insts;
+            cfg.traceCacheEntries = p.tcEntries;
+            cfg.preconBufferEntries = p.pbEntries;
+            configs.push_back(std::move(cfg));
+        }
+    }
+
+    const std::vector<SimResult> results =
+        par::runParallelGrid(sim, configs, harness.sweepOptions());
+
+    std::size_t idx = 0;
+    for (const std::string &name : names) {
         TableReport table({"config", "combinedKB", "misses/1000",
                            "pbHits", "vs-baseline"});
-
-        SimConfig base;
-        base.benchmark = name;
-        base.maxInsts = insts;
 
         // Baseline miss rate per combined size, for the delta
         // column of matching preconstruction splits.
         std::map<std::size_t, double> baseline_at;
-        for (const SizePoint &p : figure5Grid()) {
-            SimConfig cfg = base;
-            cfg.traceCacheEntries = p.tcEntries;
-            cfg.preconBufferEntries = p.pbEntries;
-            const SimResult r = bench::verified(sim.run(cfg));
+        for (const SizePoint &p : grid) {
+            const SimResult &r = harness.record(results[idx++]);
 
             char label[48];
             std::snprintf(label, sizeof(label), "%zuTC+%zuPB",
@@ -60,7 +78,8 @@ main()
                         "%";
             }
             table.addRow({label,
-                          TableReport::num(cfg.combinedKb(), 0),
+                          TableReport::num(r.config.combinedKb(),
+                                           0),
                           TableReport::num(r.missesPerKi, 2),
                           TableReport::num(r.pbHits), delta});
         }
@@ -68,5 +87,5 @@ main()
         std::printf("\n--- %s ---\n%s", name.c_str(),
                     table.render().c_str());
     }
-    return 0;
+    return harness.finish();
 }

@@ -4,7 +4,8 @@
  * (full timing model) for gcc, go, perl and vortex. The paper
  * reports 3-10% speedups for these benchmarks; other benchmarks
  * see little impact. Two area-matched comparisons are shown per
- * benchmark.
+ * benchmark. The 4 x 4 timing runs are sharded across the
+ * parallel sweep engine (--jobs N / TPRE_JOBS).
  */
 
 #include "bench_common.hh"
@@ -14,9 +15,9 @@ using namespace tpre;
 namespace
 {
 
-double
-ipcOf(Simulator &sim, const char *name, std::size_t tc,
-      std::size_t pb, InstCount insts)
+SimConfig
+timingConfig(const char *name, std::size_t tc, std::size_t pb,
+             InstCount insts)
 {
     SimConfig cfg;
     cfg.benchmark = name;
@@ -24,14 +25,15 @@ ipcOf(Simulator &sim, const char *name, std::size_t tc,
     cfg.maxInsts = insts;
     cfg.traceCacheEntries = tc;
     cfg.preconBufferEntries = pb;
-    return sim.run(cfg).ipc;
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness harness("fig6_speedup", argc, argv);
     bench::banner(
         "Figure 6: speedup from preconstruction (timing model)",
         "gcc/go/perl/vortex gain 3-10%; equal-area TC+buffer "
@@ -39,17 +41,30 @@ main()
 
     Simulator sim;
     const InstCount insts = bench::runLength(1'200'000);
+    const char *names[] = {"gcc", "go", "perl", "vortex"};
+
+    // Four configs per benchmark: 256TC, 128TC+128PB, 512TC,
+    // 256TC+256PB.
+    std::vector<SimConfig> configs;
+    for (const char *name : names) {
+        configs.push_back(timingConfig(name, 256, 0, insts));
+        configs.push_back(timingConfig(name, 128, 128, insts));
+        configs.push_back(timingConfig(name, 512, 0, insts));
+        configs.push_back(timingConfig(name, 256, 256, insts));
+    }
+    const std::vector<SimResult> results =
+        par::runParallelGrid(sim, configs, harness.sweepOptions());
 
     TableReport table({"benchmark", "base256", "128TC+128PB",
                        "speedup", "base512", "256TC+256PB",
                        "speedup"});
-    for (const char *name : {"gcc", "go", "perl", "vortex"}) {
-        const double b256 = ipcOf(sim, name, 256, 0, insts);
-        const double p128 = ipcOf(sim, name, 128, 128, insts);
-        const double b512 = ipcOf(sim, name, 512, 0, insts);
-        const double p256 = ipcOf(sim, name, 256, 256, insts);
+    for (std::size_t i = 0; i < std::size(names); ++i) {
+        const double b256 = harness.record(results[4 * i]).ipc;
+        const double p128 = harness.record(results[4 * i + 1]).ipc;
+        const double b512 = harness.record(results[4 * i + 2]).ipc;
+        const double p256 = harness.record(results[4 * i + 3]).ipc;
         table.addRow(
-            {name, TableReport::num(b256, 3),
+            {names[i], TableReport::num(b256, 3),
              TableReport::num(p128, 3),
              TableReport::num(100.0 * (p128 / b256 - 1.0), 1) + "%",
              TableReport::num(b512, 3),
@@ -58,5 +73,5 @@ main()
                  "%"});
     }
     std::printf("%s", table.render().c_str());
-    return 0;
+    return harness.finish();
 }

@@ -6,7 +6,9 @@
  * both combined, and the sum of the individual speedups for
  * reference. The paper's headline: 2-8% from preconstruction,
  * 8-12% from preprocessing, 12-20% combined — more than the sum of
- * the parts (average 14% over SPECint95).
+ * the parts (average 14% over SPECint95). The 4 x 4 timing runs
+ * are sharded across the parallel sweep engine (--jobs N /
+ * TPRE_JOBS).
  */
 
 #include <cmath>
@@ -18,9 +20,9 @@ using namespace tpre;
 namespace
 {
 
-double
-ipcOf(Simulator &sim, const char *name, bool precon, bool prep,
-      InstCount insts)
+SimConfig
+pipelineConfig(const char *name, bool precon, bool prep,
+               InstCount insts)
 {
     SimConfig cfg;
     cfg.benchmark = name;
@@ -29,14 +31,15 @@ ipcOf(Simulator &sim, const char *name, bool precon, bool prep,
     cfg.traceCacheEntries = precon ? 128 : 256;
     cfg.preconBufferEntries = precon ? 128 : 0;
     cfg.prepEnabled = prep;
-    return sim.run(cfg).ipc;
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness harness("fig8_extended_pipeline", argc, argv);
     bench::banner(
         "Figure 8: speedup from the extended pipeline model "
         "(precon, preprocessing, both)",
@@ -45,24 +48,40 @@ main()
 
     Simulator sim;
     const InstCount insts = bench::runLength(1'200'000);
+    const char *names[] = {"gcc", "go", "perl", "vortex"};
+
+    // Four configs per benchmark: base, precon-only, prep-only,
+    // both.
+    std::vector<SimConfig> configs;
+    for (const char *name : names) {
+        configs.push_back(pipelineConfig(name, false, false,
+                                         insts));
+        configs.push_back(pipelineConfig(name, true, false,
+                                         insts));
+        configs.push_back(pipelineConfig(name, false, true,
+                                         insts));
+        configs.push_back(pipelineConfig(name, true, true, insts));
+    }
+    const std::vector<SimResult> results =
+        par::runParallelGrid(sim, configs, harness.sweepOptions());
 
     TableReport table({"benchmark", "precon", "preproc",
                        "combined", "sum-of-parts",
                        "super-additive?"});
     double geo_combined = 1.0;
     unsigned count = 0;
-    for (const char *name : {"gcc", "go", "perl", "vortex"}) {
-        const double base = ipcOf(sim, name, false, false, insts);
+    for (std::size_t i = 0; i < std::size(names); ++i) {
+        const double base = harness.record(results[4 * i]).ipc;
         const double pre =
-            100.0 * (ipcOf(sim, name, true, false, insts) / base -
-                     1.0);
+            100.0 *
+            (harness.record(results[4 * i + 1]).ipc / base - 1.0);
         const double prep =
-            100.0 * (ipcOf(sim, name, false, true, insts) / base -
-                     1.0);
+            100.0 *
+            (harness.record(results[4 * i + 2]).ipc / base - 1.0);
         const double both =
-            100.0 * (ipcOf(sim, name, true, true, insts) / base -
-                     1.0);
-        table.addRow({name, TableReport::num(pre, 1) + "%",
+            100.0 *
+            (harness.record(results[4 * i + 3]).ipc / base - 1.0);
+        table.addRow({names[i], TableReport::num(pre, 1) + "%",
                       TableReport::num(prep, 1) + "%",
                       TableReport::num(both, 1) + "%",
                       TableReport::num(pre + prep, 1) + "%",
@@ -75,5 +94,5 @@ main()
                 "over all of SPECint95)\n",
                 100.0 * (std::pow(geo_combined, 1.0 / count) -
                          1.0));
-    return 0;
+    return harness.finish();
 }

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "bpred/bimodal.hh"
 #include "bpred/next_trace.hh"
 #include "common/random.hh"
@@ -131,3 +135,39 @@ BM_FastSimWithPrecon(benchmark::State &state)
 BENCHMARK(BM_FastSimWithPrecon)->Unit(benchmark::kMillisecond);
 
 } // namespace
+
+/**
+ * Custom main instead of benchmark_main: defaults the JSON output
+ * to BENCH_micro_components.json (google-benchmark's native
+ * schema; the measurement loop is inherently serial, so unlike
+ * the sweep binaries there is no --jobs here) unless the caller
+ * already passed --benchmark_out. TPRE_BENCH_DIR relocates the
+ * report like it does for the sweep binaries.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool hasOut = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0)
+            hasOut = true;
+
+    std::string dir = ".";
+    if (const char *env = std::getenv("TPRE_BENCH_DIR"))
+        dir = env;
+    std::string outFlag = "--benchmark_out=" + dir +
+                          "/BENCH_micro_components.json";
+    std::string fmtFlag = "--benchmark_out_format=json";
+    if (!hasOut) {
+        args.push_back(outFlag.data());
+        args.push_back(fmtFlag.data());
+    }
+
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

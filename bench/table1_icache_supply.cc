@@ -11,8 +11,9 @@
 using namespace tpre;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness harness("table1_icache_supply", argc, argv);
     bench::banner(
         "Table 1: instructions supplied by the I-cache (per 1000 "
         "instructions)",
@@ -20,23 +21,32 @@ main()
 
     Simulator sim;
     const InstCount insts = bench::runLength(2'000'000);
+    const char *names[] = {"gcc", "go"};
 
-    TableReport table({"benchmark", "512TC", "256TC+256PB",
-                       "reduction"});
-    for (const char *name : {"gcc", "go"}) {
+    // Two configs per benchmark: 512TC baseline, then 256TC+256PB.
+    std::vector<SimConfig> configs;
+    for (const char *name : names) {
         SimConfig base;
         base.benchmark = name;
         base.maxInsts = insts;
         base.traceCacheEntries = 512;
-        const SimResult b = sim.run(base);
+        configs.push_back(base);
 
         SimConfig pre = base;
         pre.traceCacheEntries = 256;
         pre.preconBufferEntries = 256;
-        const SimResult p = sim.run(pre);
+        configs.push_back(pre);
+    }
+    const std::vector<SimResult> results =
+        par::runParallelGrid(sim, configs, harness.sweepOptions());
 
+    TableReport table({"benchmark", "512TC", "256TC+256PB",
+                       "reduction"});
+    for (std::size_t i = 0; i < std::size(names); ++i) {
+        const SimResult &b = harness.record(results[2 * i]);
+        const SimResult &p = harness.record(results[2 * i + 1]);
         table.addRow(
-            {name, TableReport::num(b.icacheSupplyPerKi, 0),
+            {names[i], TableReport::num(b.icacheSupplyPerKi, 0),
              TableReport::num(p.icacheSupplyPerKi, 0),
              TableReport::num(100.0 * (b.icacheSupplyPerKi -
                                        p.icacheSupplyPerKi) /
@@ -45,5 +55,5 @@ main()
                  "%"});
     }
     std::printf("%s", table.render().c_str());
-    return 0;
+    return harness.finish();
 }

@@ -12,8 +12,9 @@
 using namespace tpre;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Harness harness("table3_miss_supply", argc, argv);
     bench::banner(
         "Table 3: instructions supplied by I-cache misses (per "
         "1000 instructions)",
@@ -22,23 +23,32 @@ main()
 
     Simulator sim;
     const InstCount insts = bench::runLength(2'000'000);
+    const char *names[] = {"gcc", "go"};
 
-    TableReport table({"benchmark", "512TC", "256TC+256PB",
-                       "reduction"});
-    for (const char *name : {"gcc", "go"}) {
+    std::vector<SimConfig> configs;
+    for (const char *name : names) {
         SimConfig base;
         base.benchmark = name;
         base.maxInsts = insts;
         base.traceCacheEntries = 512;
-        const SimResult b = sim.run(base);
+        configs.push_back(base);
 
         SimConfig pre = base;
         pre.traceCacheEntries = 256;
         pre.preconBufferEntries = 256;
-        const SimResult p = sim.run(pre);
+        configs.push_back(pre);
+    }
+    const std::vector<SimResult> results =
+        par::runParallelGrid(sim, configs, harness.sweepOptions());
 
+    TableReport table({"benchmark", "512TC", "256TC+256PB",
+                       "reduction"});
+    for (std::size_t i = 0; i < std::size(names); ++i) {
+        const SimResult &b = harness.record(results[2 * i]);
+        const SimResult &p = harness.record(results[2 * i + 1]);
         table.addRow(
-            {name, TableReport::num(b.icacheMissSupplyPerKi, 1),
+            {names[i],
+             TableReport::num(b.icacheMissSupplyPerKi, 1),
              TableReport::num(p.icacheMissSupplyPerKi, 1),
              TableReport::num(100.0 * (b.icacheMissSupplyPerKi -
                                        p.icacheMissSupplyPerKi) /
@@ -47,5 +57,5 @@ main()
                  "%"});
     }
     std::printf("%s", table.render().c_str());
-    return 0;
+    return harness.finish();
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/random.hh"
+#include "par/parallel_sweep.hh"
 
 namespace tpre::check
 {
@@ -386,16 +387,19 @@ FuzzReport
 runFuzz(const FuzzOptions &opts)
 {
     FuzzReport report;
-    for (std::uint64_t i = 0; i < opts.seeds; ++i) {
-        FuzzCase c = makeFuzzCase(opts.baseSeed + i, opts.maxInsts);
-        const DiffResult r = diffModels(c.program(), c.diff);
+
+    // Account one evaluated case in seed order; returns false once
+    // the failure budget stops the campaign. Shrinking runs here,
+    // on the scanning thread.
+    const auto processCase = [&](FuzzCase c,
+                                 const DiffResult &r) -> bool {
         ++report.casesRun;
         report.instructionsExecuted += r.instructions;
         report.tracesChecked += r.traces;
         if (opts.onCase)
             opts.onCase(c, r);
         if (!r.failure)
-            continue;
+            return true;
 
         FuzzFailure f;
         f.failure = *r.failure;
@@ -406,8 +410,41 @@ runFuzz(const FuzzOptions &opts)
                               : f.failure;
         f.shrunkInsts = countActive(f.shrunk.code);
         report.failures.push_back(std::move(f));
-        if (report.failures.size() >= opts.maxFailures)
-            break;
+        return report.failures.size() < opts.maxFailures;
+    };
+
+    if (opts.jobs <= 1) {
+        for (std::uint64_t i = 0; i < opts.seeds; ++i) {
+            FuzzCase c =
+                makeFuzzCase(opts.baseSeed + i, opts.maxInsts);
+            const DiffResult r = diffModels(c.program(), c.diff);
+            if (!processCase(std::move(c), r))
+                break;
+        }
+        return report;
+    }
+
+    // Parallel campaign: evaluate seeds in blocks across the pool,
+    // then scan each block in seed order. Blocks bound the
+    // speculative work thrown away when an early seed fails.
+    const std::uint64_t block = std::uint64_t(opts.jobs) * 8;
+    for (std::uint64_t start = 0; start < opts.seeds;) {
+        const std::uint64_t count =
+            std::min<std::uint64_t>(block, opts.seeds - start);
+        std::vector<FuzzCase> cases(count);
+        std::vector<DiffResult> results(count);
+        par::runJobs(
+            static_cast<std::size_t>(count), opts.jobs,
+            opts.baseSeed, [&](std::size_t i, Rng &) {
+                cases[i] = makeFuzzCase(opts.baseSeed + start + i,
+                                        opts.maxInsts);
+                results[i] =
+                    diffModels(cases[i].program(), cases[i].diff);
+            });
+        for (std::uint64_t i = 0; i < count; ++i)
+            if (!processCase(std::move(cases[i]), results[i]))
+                return report;
+        start += count;
     }
     return report;
 }

@@ -72,7 +72,19 @@ struct FuzzOptions
     bool shrink = true;
     /** Stop the campaign after this many failures. */
     std::size_t maxFailures = 1;
-    /** Optional per-case progress callback (seed, result). */
+    /**
+     * Worker threads for the seed campaign; <= 1 runs serially.
+     * Each seed is an independent deterministic case, so the
+     * parallel campaign reports exactly what the serial one would:
+     * results are scanned in seed order and counters stop at the
+     * same failure cutoff. (Seeds past an early failure may still
+     * be *evaluated* speculatively; that work is discarded.)
+     */
+    unsigned jobs = 1;
+    /**
+     * Optional per-case progress callback (seed, result). Invoked
+     * in seed order from the scanning thread even when jobs > 1.
+     */
     std::function<void(const FuzzCase &, const DiffResult &)>
         onCase;
 };

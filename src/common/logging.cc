@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 namespace tpre
 {
@@ -9,15 +11,51 @@ namespace tpre
 namespace
 {
 
+/**
+ * Serializes message assembly + write so concurrent workers cannot
+ * interleave or tear lines. vsnprintf into a local buffer happens
+ * outside the lock; only the final write is guarded.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+thread_local std::string tLogTag;
+
 void
 vreport(const char *tag, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, args);
-    std::fputc('\n', stderr);
+    char buf[1024];
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    std::lock_guard<std::mutex> guard(logMutex());
+    if (tLogTag.empty())
+        std::fprintf(stderr, "%s: %s\n", tag, buf);
+    else
+        std::fprintf(stderr, "[%s] %s: %s\n", tLogTag.c_str(), tag,
+                     buf);
 }
 
 } // namespace
+
+void
+setLogThreadTag(const std::string &tag)
+{
+    tLogTag = tag;
+}
+
+ScopedLogTag::ScopedLogTag(const std::string &tag)
+    : saved_(std::move(tLogTag))
+{
+    tLogTag = tag;
+}
+
+ScopedLogTag::~ScopedLogTag()
+{
+    tLogTag = std::move(saved_);
+}
 
 void
 panic(const char *fmt, ...)

@@ -9,6 +9,7 @@
 #define TPRE_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <string>
 
 namespace tpre
 {
@@ -32,6 +33,27 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Emit an informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Set this thread's log tag; every subsequent message from the
+ * thread is prefixed with "[tag] ". Worker threads of the parallel
+ * sweep engine set a stable per-job tag so interleaved output can
+ * be attributed. An empty tag (the default) adds no prefix.
+ */
+void setLogThreadTag(const std::string &tag);
+
+/** RAII helper: set a thread log tag, restore the old one on exit. */
+class ScopedLogTag
+{
+  public:
+    explicit ScopedLogTag(const std::string &tag);
+    ~ScopedLogTag();
+    ScopedLogTag(const ScopedLogTag &) = delete;
+    ScopedLogTag &operator=(const ScopedLogTag &) = delete;
+
+  private:
+    std::string saved_;
+};
 
 /**
  * Assert an invariant; panics when the condition does not hold.

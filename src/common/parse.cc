@@ -1,0 +1,39 @@
+#include "common/parse.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+std::int64_t
+parsePositiveInt(const char *text, const char *what)
+{
+    if (!text || !*text)
+        fatal("%s: empty value (expected a positive integer)",
+              what);
+    errno = 0;
+    char *end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0')
+        fatal("%s: '%s' is not a decimal integer", what, text);
+    if (errno == ERANGE)
+        fatal("%s: '%s' overflows a 64-bit integer", what, text);
+    if (value <= 0)
+        fatal("%s: '%s' must be > 0", what, text);
+    return value;
+}
+
+unsigned
+parseJobs(const char *text, const char *what)
+{
+    const std::int64_t value = parsePositiveInt(text, what);
+    if (value > 4096)
+        fatal("%s: '%s' exceeds the sanity cap of 4096 workers",
+              what, text);
+    return static_cast<unsigned>(value);
+}
+
+} // namespace tpre

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Strict numeric parsing for environment variables and command-line
+ * flags. The helpers reject garbage instead of letting atoll-style
+ * parsing silently turn "2e8" into 2 or "fast" into 0, which later
+ * surfaces as a misleading failure far from the bad input.
+ */
+
+#ifndef TPRE_COMMON_PARSE_HH
+#define TPRE_COMMON_PARSE_HH
+
+#include <cstdint>
+
+namespace tpre
+{
+
+/**
+ * Parse @p text as a strictly positive decimal integer. Calls
+ * fatal() naming @p what and the offending value on non-numeric
+ * input, trailing garbage, overflow, or values <= 0.
+ */
+std::int64_t parsePositiveInt(const char *text, const char *what);
+
+/**
+ * Parse a worker count for --jobs / TPRE_JOBS: a positive integer,
+ * capped at 4096 to catch "--jobs 1e9"-style mistakes. Calls
+ * fatal() naming @p what on bad input.
+ */
+unsigned parseJobs(const char *text, const char *what);
+
+} // namespace tpre
+
+#endif // TPRE_COMMON_PARSE_HH

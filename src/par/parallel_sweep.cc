@@ -1,0 +1,79 @@
+#include "par/parallel_sweep.hh"
+
+#include <mutex>
+#include <string>
+
+#include "common/logging.hh"
+#include "par/thread_pool.hh"
+
+namespace tpre::par
+{
+
+std::uint64_t
+jobSeed(std::uint64_t seed, std::size_t jobIndex)
+{
+    // Golden-ratio stride through mix64 decorrelates neighbouring
+    // jobs even when the base seed is 0 or small.
+    return mix64(seed ^ mix64(0x9e3779b97f4a7c15ULL *
+                              (std::uint64_t(jobIndex) + 1)));
+}
+
+void
+runJobs(std::size_t n, unsigned jobs, std::uint64_t seed,
+        const std::function<void(std::size_t, Rng &)> &body)
+{
+    ThreadPool pool(jobs <= 1 ? 0 : jobs);
+    const bool tagged = pool.threads() > 0;
+    pool.parallelFor(n, [&](std::size_t i) {
+        Rng rng(jobSeed(seed, i));
+        if (tagged) {
+            ScopedLogTag tag("job " + std::to_string(i));
+            body(i, rng);
+        } else {
+            body(i, rng);
+        }
+    });
+}
+
+std::vector<SimResult>
+runParallelGrid(Simulator &sim,
+                const std::vector<SimConfig> &configs,
+                const SweepOptions &opts)
+{
+    const std::size_t n = configs.size();
+    std::vector<SimResult> results(n);
+    std::mutex emitMu;
+    std::size_t nextEmit = 0;
+    std::vector<char> done(n, 0);
+
+    runJobs(n, opts.jobs, opts.seed, [&](std::size_t i, Rng &) {
+        results[i] = sim.run(configs[i]);
+        if (!opts.onResult)
+            return;
+        std::lock_guard<std::mutex> guard(emitMu);
+        done[i] = 1;
+        while (nextEmit < n && done[nextEmit]) {
+            opts.onResult(results[nextEmit]);
+            ++nextEmit;
+        }
+    });
+    return results;
+}
+
+std::vector<SimResult>
+runParallelSweep(Simulator &sim, const SimConfig &base,
+                 const std::vector<SizePoint> &points,
+                 const SweepOptions &opts)
+{
+    std::vector<SimConfig> configs;
+    configs.reserve(points.size());
+    for (const SizePoint &point : points) {
+        SimConfig config = base;
+        config.traceCacheEntries = point.tcEntries;
+        config.preconBufferEntries = point.pbEntries;
+        configs.push_back(std::move(config));
+    }
+    return runParallelGrid(sim, configs, opts);
+}
+
+} // namespace tpre::par

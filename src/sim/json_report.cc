@@ -1,0 +1,162 @@
+#include "sim/json_report.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace tpre
+{
+
+namespace
+{
+
+const char *
+gitRef()
+{
+    if (const char *ref = std::getenv("TPRE_GIT_REF"))
+        return ref;
+    if (const char *sha = std::getenv("GITHUB_SHA"))
+        return sha;
+    return "unknown";
+}
+
+std::string
+boolWord(bool b)
+{
+    return b ? "true" : "false";
+}
+
+std::string
+u64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[64];
+    // %.17g round-trips any double; JSON requires a plain number,
+    // which %g produces for finite inputs.
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+BenchReport::BenchReport(std::string bench, unsigned jobs)
+    : bench_(std::move(bench)), jobs_(jobs)
+{
+}
+
+void
+BenchReport::add(const SimResult &row)
+{
+    rows_.push_back(row);
+}
+
+std::string
+BenchReport::render(double wallSeconds) const
+{
+    std::string out;
+    out += "{\n";
+    out += "  \"bench\": \"" + jsonEscape(bench_) + "\",\n";
+    out += "  \"git_ref\": \"" + jsonEscape(gitRef()) + "\",\n";
+    out += "  \"wall_seconds\": " + jsonNumber(wallSeconds) + ",\n";
+    out += "  \"jobs\": " + u64(jobs_) + ",\n";
+    out += "  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const SimResult &r = rows_[i];
+        const SimConfig &c = r.config;
+        out += i ? ",\n    {" : "\n    {";
+        out += "\"benchmark\": \"" + jsonEscape(c.benchmark) +
+               "\", ";
+        out += std::string("\"mode\": \"") +
+               (c.mode == SimMode::Fast ? "fast" : "timing") +
+               "\", ";
+        out += "\"tc_entries\": " + u64(c.traceCacheEntries) + ", ";
+        out += "\"pb_entries\": " + u64(c.preconBufferEntries) +
+               ", ";
+        out += "\"prep\": " + boolWord(c.prepEnabled) + ", ";
+        out += "\"workload_seed\": " + u64(c.workloadSeed) + ", ";
+        out += "\"max_insts\": " + u64(c.maxInsts) + ", ";
+        out += "\"combined_kb\": " + jsonNumber(c.combinedKb()) +
+               ", ";
+        out += "\"instructions\": " + u64(r.instructions) + ", ";
+        out += "\"cycles\": " + u64(r.cycles) + ", ";
+        out += "\"ipc\": " + jsonNumber(r.ipc) + ", ";
+        out += "\"missesPerKi\": " + jsonNumber(r.missesPerKi) +
+               ", ";
+        out += "\"traces\": " + u64(r.traces) + ", ";
+        out += "\"tc_misses\": " + u64(r.tcMisses) + ", ";
+        out += "\"pb_hits\": " + u64(r.pbHits) + ", ";
+        out += "\"icache_supply_per_ki\": " +
+               jsonNumber(r.icacheSupplyPerKi) + ", ";
+        out += "\"icache_misses_per_ki\": " +
+               jsonNumber(r.icacheMissesPerKi) + ", ";
+        out += "\"icache_miss_supply_per_ki\": " +
+               jsonNumber(r.icacheMissSupplyPerKi) + ", ";
+        out += "\"precon_traces_constructed\": " +
+               u64(r.precon.tracesConstructed) + ", ";
+        out += "\"precon_buffer_hits\": " +
+               u64(r.precon.bufferHits) + "}";
+    }
+    out += rows_.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+BenchReport::write(double wallSeconds) const
+{
+    std::string dir = ".";
+    if (const char *env = std::getenv("TPRE_BENCH_DIR"))
+        dir = env;
+    const std::string path = dir + "/BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write bench report to %s", path.c_str());
+        return "";
+    }
+    out << render(wallSeconds);
+    return path;
+}
+
+} // namespace tpre

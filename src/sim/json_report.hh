@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Machine-readable bench reports. Every bench binary emits a
+ * BENCH_<name>.json alongside its human-readable table so the
+ * performance trajectory of the repository is tracked from CI
+ * artifacts, with schema:
+ *
+ *   {
+ *     "bench": "<binary name>",
+ *     "git_ref": "<TPRE_GIT_REF | GITHUB_SHA | unknown>",
+ *     "wall_seconds": <total wall-clock of the run>,
+ *     "jobs": <worker threads used>,
+ *     "rows": [
+ *       {
+ *         "benchmark": "...", "mode": "fast|timing",
+ *         "tc_entries": N, "pb_entries": N, "prep": bool,
+ *         "workload_seed": N, "max_insts": N, "combined_kb": X,
+ *         "instructions": N, "cycles": N, "ipc": X,
+ *         "missesPerKi": X, "traces": N, "tc_misses": N,
+ *         "pb_hits": N, "icache_supply_per_ki": X,
+ *         "icache_misses_per_ki": X,
+ *         "icache_miss_supply_per_ki": X,
+ *         "precon_traces_constructed": N, "precon_buffer_hits": N
+ *       }, ...
+ *     ]
+ *   }
+ *
+ * Only dependency-free hand-rolled serialization is used (no JSON
+ * library in the image); jsonEscape/jsonNumber are exposed for
+ * tests.
+ */
+
+#ifndef TPRE_SIM_JSON_REPORT_HH
+#define TPRE_SIM_JSON_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace tpre
+{
+
+/** RFC 8259 string escaping (quotes, backslash, control chars). */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Render a double as a JSON number. NaN and infinities (not
+ * representable in JSON) render as null.
+ */
+std::string jsonNumber(double value);
+
+/** One bench binary's machine-readable result set. */
+class BenchReport
+{
+  public:
+    /**
+     * @param bench Report (and output file) name; the file is
+     *              BENCH_<bench>.json.
+     * @param jobs Worker threads the run was sharded over.
+     */
+    BenchReport(std::string bench, unsigned jobs);
+
+    /** Append one result row (call in output order). */
+    void add(const SimResult &row);
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render the whole report as a JSON document. */
+    std::string render(double wallSeconds) const;
+
+    /**
+     * Write BENCH_<bench>.json into TPRE_BENCH_DIR (default: the
+     * current directory). Returns the path written, or an empty
+     * string (with a warn()) when the file cannot be created.
+     */
+    std::string write(double wallSeconds) const;
+
+  private:
+    std::string bench_;
+    unsigned jobs_;
+    std::vector<SimResult> rows_;
+};
+
+} // namespace tpre
+
+#endif // TPRE_SIM_JSON_REPORT_HH

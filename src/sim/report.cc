@@ -75,12 +75,25 @@ TableReport::render() const
 std::string
 TableReport::renderCsv() const
 {
-    auto join = [](const std::vector<std::string> &cells) {
+    // RFC 4180: cells containing a separator, quote, or line break
+    // are quoted, with embedded quotes doubled.
+    auto field = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\r\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (const char c : cell) {
+            quoted += c;
+            if (c == '"')
+                quoted += '"';
+        }
+        return quoted + '"';
+    };
+    auto join = [&field](const std::vector<std::string> &cells) {
         std::string line;
         for (std::size_t c = 0; c < cells.size(); ++c) {
             if (c)
                 line += ',';
-            line += cells[c];
+            line += field(cells[c]);
         }
         return line + '\n';
     };

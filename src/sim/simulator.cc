@@ -7,16 +7,23 @@ const GeneratedWorkload &
 Simulator::workload(const std::string &benchmark,
                     std::uint64_t seed)
 {
-    auto key = std::make_pair(benchmark, seed);
-    auto it = workloads_.find(key);
-    if (it == workloads_.end()) {
-        WorkloadGenerator gen(specint95Profile(benchmark, seed));
-        it = workloads_
-                 .emplace(key, std::make_unique<GeneratedWorkload>(
-                                   gen.generate()))
-                 .first;
+    CacheEntry *entry;
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        std::unique_ptr<CacheEntry> &slot =
+            workloads_[std::make_pair(benchmark, seed)];
+        if (!slot)
+            slot = std::make_unique<CacheEntry>();
+        entry = slot.get();
     }
-    return *it->second;
+    // Generation happens outside the map lock: only demanders of
+    // this exact workload serialize on the once_flag.
+    std::call_once(entry->once, [&] {
+        WorkloadGenerator gen(specint95Profile(benchmark, seed));
+        entry->workload = std::make_unique<GeneratedWorkload>(
+            gen.generate());
+    });
+    return *entry->workload;
 }
 
 SimResult

@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "sim/config.hh"
 #include "workload/generator.hh"
@@ -41,8 +42,14 @@ struct SimResult
 };
 
 /**
- * Runs experiments, caching generated workloads. Thread-compatible
- * (not thread-safe); typically one per benchmark binary.
+ * Runs experiments, caching generated workloads. Thread-safe: the
+ * parallel sweep engine shares one Simulator across all workers so
+ * each (benchmark, seed) program is generated exactly once. Cache
+ * entries are created under a mutex, but generation itself runs
+ * under a per-entry std::once_flag outside that lock, so two
+ * threads generating *different* workloads proceed concurrently
+ * while threads demanding the *same* workload block only on its
+ * first generation.
  */
 class Simulator
 {
@@ -52,13 +59,25 @@ class Simulator
     /** Run one experiment configuration. */
     SimResult run(const SimConfig &config);
 
-    /** Access (and cache) the workload for a config. */
+    /**
+     * Access (and cache) the workload for a config. The returned
+     * reference is stable for the Simulator's lifetime; the
+     * GeneratedWorkload is immutable after generation and safe to
+     * read from any number of threads.
+     */
     const GeneratedWorkload &workload(const std::string &benchmark,
                                       std::uint64_t seed);
 
   private:
+    struct CacheEntry
+    {
+        std::once_flag once;
+        std::unique_ptr<GeneratedWorkload> workload;
+    };
+
+    std::mutex mu_;
     std::map<std::pair<std::string, std::uint64_t>,
-             std::unique_ptr<GeneratedWorkload>>
+             std::unique_ptr<CacheEntry>>
         workloads_;
 };
 

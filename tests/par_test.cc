@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: thread-pool semantics
+ * (ordering, exception propagation, inline fallback), per-job rng
+ * streams, ordered result emission, and the headline determinism
+ * guarantee — a parallel sweep's SimResult rows are bit-identical
+ * to the serial reference path's.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "par/parallel_sweep.hh"
+#include "par/thread_pool.hh"
+
+namespace tpre
+{
+namespace
+{
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce)
+{
+    par::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h = 0;
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, ResultsLandInTheirOwnSlots)
+{
+    par::ThreadPool pool(3);
+    std::vector<std::size_t> out(100, 0);
+    pool.parallelFor(out.size(),
+                     [&](std::size_t i) { out[i] = i * i; });
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller)
+{
+    par::ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        pool.parallelFor(8,
+                         [&](std::size_t i) {
+                             if (i == 3)
+                                 throw std::runtime_error("job 3");
+                             ++completed;
+                         }),
+        std::runtime_error);
+    // The batch still runs to completion before rethrowing.
+    EXPECT_EQ(completed.load(), 7);
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolRunsInlineOnCaller)
+{
+    par::ThreadPool pool(0);
+    EXPECT_EQ(pool.threads(), 0u);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ranOn(5);
+    pool.parallelFor(ranOn.size(), [&](std::size_t i) {
+        ranOn[i] = std::this_thread::get_id();
+    });
+    for (const std::thread::id &id : ranOn)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolExceptionStillPropagates)
+{
+    par::ThreadPool pool(0);
+    EXPECT_THROW(pool.parallelFor(
+                     2,
+                     [](std::size_t) {
+                         throw std::runtime_error("inline");
+                     }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SubmitAndDrainOnInlinePool)
+{
+    par::ThreadPool pool(0);
+    int ran = 0;
+    pool.submit([&] { ++ran; });
+    pool.submit([&] { ++ran; });
+    EXPECT_EQ(ran, 0); // deferred until drained
+    pool.drain();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(ParallelSweepTest, JobSeedsAreDecorrelated)
+{
+    EXPECT_NE(par::jobSeed(0, 0), par::jobSeed(0, 1));
+    EXPECT_NE(par::jobSeed(7, 0), par::jobSeed(8, 0));
+    EXPECT_EQ(par::jobSeed(7, 3), par::jobSeed(7, 3));
+}
+
+TEST(ParallelSweepTest, JobRngStreamsIndependentOfJobCount)
+{
+    // The rng stream a job index sees must not depend on how many
+    // workers the batch was sharded over.
+    auto draw = [](unsigned jobs) {
+        std::vector<std::uint64_t> values(16);
+        par::runJobs(values.size(), jobs, 42,
+                     [&](std::size_t i, Rng &rng) {
+                         values[i] = rng.next();
+                     });
+        return values;
+    };
+    const auto serial = draw(1);
+    const auto parallel = draw(4);
+    EXPECT_EQ(serial, parallel);
+    // And distinct jobs see distinct streams.
+    EXPECT_NE(serial[0], serial[1]);
+}
+
+TEST(ParallelSweepTest, OnResultArrivesInJobOrder)
+{
+    Simulator sim;
+    SimConfig base;
+    base.benchmark = "compress";
+    base.maxInsts = 20000;
+
+    std::vector<SizePoint> points;
+    for (std::size_t tc : {16, 32, 64, 128, 16, 32})
+        points.push_back({tc, std::size_t(0)});
+
+    par::SweepOptions opts;
+    opts.jobs = 4;
+    std::vector<std::size_t> seen;
+    opts.onResult = [&](const SimResult &r) {
+        seen.push_back(r.config.traceCacheEntries);
+    };
+    par::runParallelSweep(sim, base, points, opts);
+
+    ASSERT_EQ(seen.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(seen[i], points[i].tcEntries);
+}
+
+void
+expectSameResult(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.config.benchmark, b.config.benchmark);
+    EXPECT_EQ(a.config.traceCacheEntries,
+              b.config.traceCacheEntries);
+    EXPECT_EQ(a.config.preconBufferEntries,
+              b.config.preconBufferEntries);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.missesPerKi, b.missesPerKi);
+    EXPECT_EQ(a.traces, b.traces);
+    EXPECT_EQ(a.tcMisses, b.tcMisses);
+    EXPECT_EQ(a.pbHits, b.pbHits);
+    EXPECT_EQ(a.icacheSupplyPerKi, b.icacheSupplyPerKi);
+    EXPECT_EQ(a.icacheMissesPerKi, b.icacheMissesPerKi);
+    EXPECT_EQ(a.icacheMissSupplyPerKi, b.icacheMissSupplyPerKi);
+
+    EXPECT_EQ(a.precon.startPointsPushed, b.precon.startPointsPushed);
+    EXPECT_EQ(a.precon.regionsStarted, b.precon.regionsStarted);
+    EXPECT_EQ(a.precon.regionsCompleted, b.precon.regionsCompleted);
+    EXPECT_EQ(a.precon.regionsCaughtUp, b.precon.regionsCaughtUp);
+    EXPECT_EQ(a.precon.regionsPrefetchFull,
+              b.precon.regionsPrefetchFull);
+    EXPECT_EQ(a.precon.regionsBuffersFull,
+              b.precon.regionsBuffersFull);
+    EXPECT_EQ(a.precon.regionsWarm, b.precon.regionsWarm);
+    EXPECT_EQ(a.precon.tracesConstructed, b.precon.tracesConstructed);
+    EXPECT_EQ(a.precon.tracesBuffered, b.precon.tracesBuffered);
+    EXPECT_EQ(a.precon.tracesAlreadyInTc,
+              b.precon.tracesAlreadyInTc);
+    EXPECT_EQ(a.precon.bufferHits, b.precon.bufferHits);
+    EXPECT_EQ(a.precon.linesFetched, b.precon.linesFetched);
+
+    EXPECT_EQ(a.prep.tracesProcessed, b.prep.tracesProcessed);
+    EXPECT_EQ(a.prep.constsPropagated, b.prep.constsPropagated);
+    EXPECT_EQ(a.prep.opsFused, b.prep.opsFused);
+    EXPECT_EQ(a.prep.instsMoved, b.prep.instsMoved);
+}
+
+TEST(ParallelSweepTest, Figure5GridBitIdenticalToSerialSweep)
+{
+    // The acceptance bar of the parallel engine: for two profiles,
+    // the Figure 5 grid run with jobs=4 must match the serial
+    // reference path field-by-field (doubles compared exactly).
+    const std::vector<SizePoint> grid = figure5Grid();
+    for (const char *name : {"compress", "gcc"}) {
+        SimConfig base;
+        base.benchmark = name;
+        base.maxInsts = 50000;
+
+        Simulator serialSim;
+        const std::vector<SimResult> serial =
+            runSweep(serialSim, base, grid);
+
+        Simulator parallelSim;
+        par::SweepOptions opts;
+        opts.jobs = 4;
+        const std::vector<SimResult> parallel =
+            par::runParallelSweep(parallelSim, base, grid, opts);
+
+        ASSERT_EQ(serial.size(), parallel.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE(std::string(name) + " point " +
+                         std::to_string(i));
+            expectSameResult(serial[i], parallel[i]);
+        }
+    }
+}
+
+TEST(ParallelSweepTest, SharedSimulatorCacheIsRaceFree)
+{
+    // Many workers demanding the same and different workloads at
+    // once: every returned reference must point at the same cached
+    // object per (benchmark, seed). Run under TSan in CI.
+    Simulator sim;
+    const char *names[] = {"compress", "ijpeg", "li", "m88ksim"};
+    std::vector<const GeneratedWorkload *> got(32, nullptr);
+    par::runJobs(got.size(), 8, 0, [&](std::size_t i, Rng &) {
+        got[i] = &sim.workload(names[i % 4], 7);
+    });
+    for (std::size_t i = 4; i < got.size(); ++i)
+        EXPECT_EQ(got[i], got[i % 4]);
+}
+
+TEST(ParallelSweepTest, TimingModeAlsoBitIdentical)
+{
+    SimConfig base;
+    base.benchmark = "perl";
+    base.mode = SimMode::Timing;
+    base.maxInsts = 30000;
+    const std::vector<SizePoint> points = {
+        {128, 0}, {64, 64}, {256, 0}, {128, 128}};
+
+    Simulator serialSim;
+    const std::vector<SimResult> serial =
+        runSweep(serialSim, base, points);
+
+    Simulator parallelSim;
+    par::SweepOptions opts;
+    opts.jobs = 3;
+    const std::vector<SimResult> parallel =
+        par::runParallelSweep(parallelSim, base, points, opts);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("point " + std::to_string(i));
+        expectSameResult(serial[i], parallel[i]);
+    }
+}
+
+} // namespace
+} // namespace tpre

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/json_report.hh"
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
@@ -151,6 +152,86 @@ TEST(ReportTest, MismatchedRowWidthDies)
 {
     TableReport table({"a", "b"});
     EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+TEST(ReportTest, CsvQuotesSeparatorsQuotesAndNewlines)
+{
+    // Regression: cells used to be emitted verbatim, so a comma in
+    // a config description shifted every following column.
+    TableReport table({"config", "note"});
+    table.addRow({"128TC, 128PB", "plain"});
+    table.addRow({"say \"hi\"", "line\nbreak"});
+    EXPECT_EQ(table.renderCsv(),
+              "config,note\n"
+              "\"128TC, 128PB\",plain\n"
+              "\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(ReportTest, CsvLeavesCleanCellsUnquoted)
+{
+    TableReport table({"a", "b"});
+    table.addRow({"1.5%", "2x"});
+    EXPECT_EQ(table.renderCsv(), "a,b\n1.5%,2x\n");
+}
+
+TEST(JsonReportTest, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+    EXPECT_EQ(jsonEscape(std::string("nul\x01") + "x"),
+              "nul\\u0001x");
+}
+
+TEST(JsonReportTest, NumbersRoundTripAndNonFiniteIsNull)
+{
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(2.5), "2.5");
+    EXPECT_EQ(jsonNumber(1.0 / 0.0), "null");
+    EXPECT_EQ(jsonNumber(0.0 / 0.0), "null");
+}
+
+TEST(JsonReportTest, RenderContainsSchemaFieldsAndBalances)
+{
+    BenchReport report("unit_test", 4);
+    Simulator sim;
+    SimConfig cfg;
+    cfg.benchmark = "compress";
+    cfg.maxInsts = 30000;
+    report.add(sim.run(cfg));
+    cfg.preconBufferEntries = 32;
+    report.add(sim.run(cfg));
+
+    const std::string json = report.render(1.25);
+    for (const char *key :
+         {"\"bench\": \"unit_test\"", "\"git_ref\"",
+          "\"wall_seconds\": 1.25", "\"jobs\": 4", "\"rows\"",
+          "\"benchmark\": \"compress\"", "\"mode\": \"fast\"",
+          "\"tc_entries\"", "\"pb_entries\"", "\"missesPerKi\"",
+          "\"ipc\"", "\"instructions\"",
+          "\"precon_traces_constructed\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+
+    // Structural sanity: braces and brackets balance and no cell
+    // tears the document (rows are one object each).
+    long braces = 0, brackets = 0;
+    for (const char c : json) {
+        braces += c == '{';
+        braces -= c == '}';
+        brackets += c == '[';
+        brackets -= c == ']';
+        EXPECT_GE(braces, 0);
+        EXPECT_GE(brackets, 0);
+    }
+    EXPECT_EQ(braces, 0);
+    EXPECT_EQ(brackets, 0);
+}
+
+TEST(JsonReportTest, EmptyRowsStillRenderValidDocument)
+{
+    BenchReport report("empty", 1);
+    const std::string json = report.render(0.0);
+    EXPECT_NE(json.find("\"rows\": []"), std::string::npos);
 }
 
 } // namespace

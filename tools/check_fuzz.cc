@@ -10,11 +10,14 @@
  * check_fuzz_repro_<seed>.txt.
  *
  * Usage: check_fuzz [--seeds N] [--seed S] [--max-insts N]
- *                   [--no-shrink] [--quiet]
+ *                   [--jobs N] [--no-shrink] [--quiet]
  *   --seeds N      number of cases to run (default 256)
  *   --seed S       first seed (default 1); with --seeds 1 this
  *                  reruns exactly one case, e.g. a reproducer
  *   --max-insts N  committed-instruction budget per case
+ *   --jobs N       worker threads for the campaign (default:
+ *                  TPRE_JOBS, else all hardware threads); the
+ *                  report is identical at any job count
  *   --no-shrink    report the original failing case unshrunk
  *   --quiet        suppress per-case progress output
  */
@@ -25,7 +28,9 @@
 #include <iostream>
 
 #include "check/fuzz.hh"
+#include "common/parse.hh"
 #include "isa/disasm.hh"
+#include "par/thread_pool.hh"
 
 using namespace tpre;
 
@@ -58,6 +63,7 @@ int
 main(int argc, char **argv)
 {
     check::FuzzOptions opts;
+    opts.jobs = par::defaultJobs();
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -89,6 +95,8 @@ main(int argc, char **argv)
                 std::cerr << "--max-insts must be positive\n";
                 return 2;
             }
+        } else if (!std::strcmp(arg, "--jobs")) {
+            opts.jobs = parseJobs(value(), "--jobs");
         } else if (!std::strcmp(arg, "--no-shrink")) {
             opts.shrink = false;
         } else if (!std::strcmp(arg, "--quiet")) {
