@@ -112,6 +112,7 @@ class Harness
     record(const SimResult &r)
     {
         report_.add(verified(r));
+        simulatedInsts_ += r.instructions;
         return r;
     }
 
@@ -126,8 +127,13 @@ class Harness
         const std::string path = report_.write(wall);
         if (path.empty())
             return 1;
-        std::printf("\n[%u job%s, %.2fs] wrote %s (%zu rows)\n",
-                    jobs_, jobs_ == 1 ? "" : "s", wall,
+        const double mips =
+            wall > 0.0
+                ? static_cast<double>(simulatedInsts_) / 1e6 / wall
+                : 0.0;
+        std::printf("\n[%u job%s, %.2fs, %.2f MIPS] wrote %s "
+                    "(%zu rows)\n",
+                    jobs_, jobs_ == 1 ? "" : "s", wall, mips,
                     path.c_str(), report_.rows());
         return 0;
     }
@@ -157,6 +163,8 @@ class Harness
     std::chrono::steady_clock::time_point start_;
     unsigned jobs_;
     BenchReport report_;
+    /** Total simulated instructions across recorded rows. */
+    std::uint64_t simulatedInsts_ = 0;
 };
 
 } // namespace tpre::bench

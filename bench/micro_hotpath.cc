@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Hot-path micro-benchmarks (google-benchmark): the allocation-free
+ * structures this repository's throughput rests on — functional
+ * core step rate, flat-page-table memory access (MRU-hot and
+ * random), trace segmentation rate, inline trace-body copies, and
+ * trace-cache probes with cached identity hashes. Companion to
+ * micro_components, which covers the predictor structures; these
+ * benches isolate the per-instruction costs the MIPS gate tracks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "func/core.hh"
+#include "func/memory.hh"
+#include "trace/fill_unit.hh"
+#include "trace/trace_cache.hh"
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace tpre;
+
+const GeneratedWorkload &
+gccWorkload()
+{
+    static GeneratedWorkload wl = [] {
+        WorkloadGenerator gen(specint95Profile("gcc"));
+        return gen.generate();
+    }();
+    return wl;
+}
+
+/** Functional-core step rate: instructions simulated per second. */
+void
+BM_CoreStepRate(benchmark::State &state)
+{
+    const GeneratedWorkload &wl = gccWorkload();
+    FunctionalCore core(wl.program);
+    for (auto _ : state) {
+        if (core.halted())
+            core.reset();
+        benchmark::DoNotOptimize(core.step());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreStepRate);
+
+/** Same-page accesses: the one-entry MRU cache's best case. */
+void
+BM_MemoryMruHot(benchmark::State &state)
+{
+    Memory mem;
+    mem.write(0x1000, 42);
+    Addr addr = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.read(addr));
+        // Stay inside one page so every access is an MRU hit.
+        addr = 0x1000 + ((addr + 8) & 0xfff);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryMruHot);
+
+/** Random-page accesses: exercises the open-addressing probe. */
+void
+BM_MemoryRandomPages(benchmark::State &state)
+{
+    Memory mem;
+    Rng rng(7);
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 4096; ++i) {
+        const Addr a = rng.nextBelow(1u << 24) * 8;
+        addrs.push_back(a);
+        mem.write(a, a);
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.read(addrs[i & 4095]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemoryRandomPages);
+
+/** Segmentation rate: core + fill unit, traces per instruction. */
+void
+BM_SegmentationRate(benchmark::State &state)
+{
+    const GeneratedWorkload &wl = gccWorkload();
+    FunctionalCore core(wl.program);
+    FillUnit fill;
+    for (auto _ : state) {
+        if (core.halted())
+            core.reset();
+        benchmark::DoNotOptimize(fill.feed(core.step()));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentationRate);
+
+/** Copying a full 16-instruction trace body (inline storage). */
+void
+BM_TraceBodyCopy(benchmark::State &state)
+{
+    Trace t;
+    Instruction alu;
+    alu.op = Opcode::Add;
+    for (unsigned i = 0; i < kMaxTraceLen; ++i)
+        t.insts.push_back({0x1000 + 4 * i, alu, false,
+                           static_cast<std::uint8_t>(i)});
+    for (auto _ : state) {
+        Trace copy = t;
+        benchmark::DoNotOptimize(copy);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceBodyCopy);
+
+/** Trace-cache probes over ids with warmed hash caches. */
+void
+BM_TraceCacheProbe(benchmark::State &state)
+{
+    TraceCache tc(512);
+    Rng rng(11);
+    std::vector<TraceId> ids;
+    for (int i = 0; i < 1024; ++i) {
+        Trace t;
+        t.id = {0x1000 + 4 * rng.nextBelow(4096),
+                static_cast<std::uint16_t>(rng.nextBelow(16)), 4};
+        Instruction alu;
+        alu.op = Opcode::Add;
+        t.insts.push_back({t.id.startPc, alu, false, 0});
+        ids.push_back(t.id);
+        tc.insert(std::move(t));
+    }
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tc.lookup(ids[i & 1023]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceCacheProbe);
+
+} // namespace
+
+/**
+ * Custom main instead of benchmark_main: defaults the JSON output
+ * to BENCH_micro_hotpath.json (google-benchmark's native schema;
+ * the measurement loop is inherently serial, so there is no --jobs
+ * here) unless the caller already passed --benchmark_out.
+ * TPRE_BENCH_DIR relocates the report like it does for the sweep
+ * binaries.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool hasOut = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0)
+            hasOut = true;
+
+    std::string dir = ".";
+    if (const char *env = std::getenv("TPRE_BENCH_DIR"))
+        dir = env;
+    std::string outFlag = "--benchmark_out=" + dir +
+                          "/BENCH_micro_hotpath.json";
+    std::string fmtFlag = "--benchmark_out_format=json";
+    if (!hasOut) {
+        args.push_back(outFlag.data());
+        args.push_back(fmtFlag.data());
+    }
+
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

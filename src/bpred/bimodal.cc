@@ -12,47 +12,6 @@ BimodalPredictor::BimodalPredictor(std::size_t entries)
                 "table size must be a power of two");
 }
 
-std::size_t
-BimodalPredictor::indexOf(Addr pc) const
-{
-    return static_cast<std::size_t>(pc / instBytes) & mask_;
-}
-
-bool
-BimodalPredictor::predict(Addr pc) const
-{
-    return table_[indexOf(pc)] >= 2;
-}
-
-void
-BimodalPredictor::update(Addr pc, bool taken)
-{
-    std::uint8_t &counter = table_[indexOf(pc)];
-    if (taken) {
-        if (counter < 3)
-            ++counter;
-    } else {
-        if (counter > 0)
-            --counter;
-    }
-}
-
-std::uint8_t
-BimodalPredictor::counter(Addr pc) const
-{
-    return table_[indexOf(pc)];
-}
-
-BranchBias
-BimodalPredictor::bias(Addr pc) const
-{
-    const std::uint8_t counter = table_[indexOf(pc)];
-    BranchBias result;
-    result.strong = counter == 0 || counter == 3;
-    result.taken = counter >= 2;
-    return result;
-}
-
 void
 BimodalPredictor::clear()
 {

@@ -35,24 +35,53 @@ class BimodalPredictor
     /** @param entries Table size; must be a power of two. */
     explicit BimodalPredictor(std::size_t entries = 16 * 1024);
 
+    // Predict, train and classify are all single table reads;
+    // inline so the per-branch hot paths (slow-path training,
+    // constructor path pruning) pay an index computation, not a
+    // call.
+
     /** Predict the direction of the branch at @p pc. */
-    bool predict(Addr pc) const;
+    bool predict(Addr pc) const { return table_[indexOf(pc)] >= 2; }
 
     /** Train with the resolved outcome. */
-    void update(Addr pc, bool taken);
+    void
+    update(Addr pc, bool taken)
+    {
+        std::uint8_t &counter = table_[indexOf(pc)];
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+    }
 
     /** Raw counter value (0-3) for the branch at @p pc. */
-    std::uint8_t counter(Addr pc) const;
+    std::uint8_t counter(Addr pc) const
+    { return table_[indexOf(pc)]; }
 
     /** Bias classification for preconstruction path pruning. */
-    BranchBias bias(Addr pc) const;
+    BranchBias
+    bias(Addr pc) const
+    {
+        const std::uint8_t counter = table_[indexOf(pc)];
+        BranchBias result;
+        result.strong = counter == 0 || counter == 3;
+        result.taken = counter >= 2;
+        return result;
+    }
 
     std::size_t entries() const { return table_.size(); }
 
     void clear();
 
   private:
-    std::size_t indexOf(Addr pc) const;
+    std::size_t
+    indexOf(Addr pc) const
+    {
+        return static_cast<std::size_t>(pc / instBytes) & mask_;
+    }
 
     std::vector<std::uint8_t> table_;
     std::size_t mask_;

@@ -17,14 +17,6 @@ PrefetchCache::PrefetchCache(unsigned capacityInsts)
 }
 
 bool
-PrefetchCache::contains(Addr addr) const
-{
-    const Addr line = lineAddr(addr);
-    return std::find(lines_.begin(), lines_.end(), line) !=
-           lines_.end();
-}
-
-bool
 PrefetchCache::insertLine(Addr addr)
 {
     const Addr line = lineAddr(addr);

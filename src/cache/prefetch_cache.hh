@@ -28,8 +28,19 @@ class PrefetchCache
     Addr lineAddr(Addr addr) const
     { return addr & ~static_cast<Addr>(lineBytes - 1); }
 
-    /** Is the line containing @p addr resident? */
-    bool contains(Addr addr) const;
+    /**
+     * Is the line containing @p addr resident? Inline: probed for
+     * every preconstruction path step.
+     */
+    bool
+    contains(Addr addr) const
+    {
+        const Addr line = lineAddr(addr);
+        for (Addr have : lines_)
+            if (have == line)
+                return true;
+        return false;
+    }
 
     /**
      * Add the line containing @p addr.

@@ -31,19 +31,21 @@ bool
 SetAssocCache::access(Addr addr)
 {
     const Addr tag = lineAddr(addr);
-    const std::size_t set = setOf(addr);
-    Line *victim = &lines_[set * geometry_.assoc];
+    // One contiguous probe over the set's ways (sets are laid out
+    // back to back in lines_).
+    Line *const base = &lines_[setOf(addr) * geometry_.assoc];
+    Line *const end = base + geometry_.assoc;
+    Line *victim = base;
 
-    for (unsigned way = 0; way < geometry_.assoc; ++way) {
-        Line &line = lines_[set * geometry_.assoc + way];
-        if (line.valid && line.tag == tag) {
-            line.lastUse = ++useClock_;
+    for (Line *line = base; line != end; ++line) {
+        if (line->valid && line->tag == tag) {
+            line->lastUse = ++useClock_;
             return true;
         }
-        if (!line.valid)
-            victim = &line;
-        else if (victim->valid && line.lastUse < victim->lastUse)
-            victim = &line;
+        if (!line->valid)
+            victim = line;
+        else if (victim->valid && line->lastUse < victim->lastUse)
+            victim = line;
     }
 
     victim->valid = true;
@@ -56,10 +58,11 @@ bool
 SetAssocCache::contains(Addr addr) const
 {
     const Addr tag = lineAddr(addr);
-    const std::size_t set = setOf(addr);
-    for (unsigned way = 0; way < geometry_.assoc; ++way) {
-        const Line &line = lines_[set * geometry_.assoc + way];
-        if (line.valid && line.tag == tag)
+    const Line *const base =
+        &lines_[setOf(addr) * geometry_.assoc];
+    for (const Line *line = base, *const end = base + geometry_.assoc;
+         line != end; ++line) {
+        if (line->valid && line->tag == tag)
             return true;
     }
     return false;
@@ -69,11 +72,11 @@ void
 SetAssocCache::invalidate(Addr addr)
 {
     const Addr tag = lineAddr(addr);
-    const std::size_t set = setOf(addr);
-    for (unsigned way = 0; way < geometry_.assoc; ++way) {
-        Line &line = lines_[set * geometry_.assoc + way];
-        if (line.valid && line.tag == tag)
-            line.valid = false;
+    Line *const base = &lines_[setOf(addr) * geometry_.assoc];
+    for (Line *line = base, *const end = base + geometry_.assoc;
+         line != end; ++line) {
+        if (line->valid && line->tag == tag)
+            line->valid = false;
     }
 }
 

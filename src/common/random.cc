@@ -15,17 +15,6 @@ splitMix64(std::uint64_t &state)
     return mix64(state);
 }
 
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ULL;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebULL;
-    x ^= x >> 31;
-    return x;
-}
-
 namespace
 {
 

@@ -72,8 +72,20 @@ class Rng
 /** SplitMix64 single-step mix; useful as a hash finalizer too. */
 std::uint64_t splitMix64(std::uint64_t &state);
 
-/** Stateless 64-bit mixing function (SplitMix64 finalizer). */
-std::uint64_t mix64(std::uint64_t x);
+/**
+ * Stateless 64-bit mixing function (SplitMix64 finalizer). Inline:
+ * it is the hash of every page-table probe and trace-id lookup.
+ */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
 
 } // namespace tpre
 

@@ -45,6 +45,9 @@ constexpr unsigned numArchRegs = 32;
 /** Maximum number of instructions in a trace (Section 4.1). */
 constexpr unsigned maxTraceLen = 16;
 
+/** Alias used where the fixed trace capacity is a container bound. */
+constexpr unsigned kMaxTraceLen = maxTraceLen;
+
 /** Register conventionally holding return addresses (like MIPS $ra). */
 constexpr RegIndex linkReg = 31;
 

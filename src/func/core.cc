@@ -5,132 +5,6 @@
 namespace tpre
 {
 
-ExecResult
-executeInst(const Instruction &inst, Addr pc, ArchState &state)
-{
-    ExecResult res;
-    res.nextPc = Instruction::fallThrough(pc);
-
-    const RegValue a = state.reg(inst.rs1);
-    const RegValue b = state.reg(inst.rs2);
-    const auto sa = static_cast<std::int64_t>(a);
-    const auto sb = static_cast<std::int64_t>(b);
-    const auto imm64 =
-        static_cast<RegValue>(static_cast<std::int64_t>(inst.imm));
-
-    switch (inst.op) {
-      case Opcode::Add: state.setReg(inst.rd, a + b); break;
-      case Opcode::Sub: state.setReg(inst.rd, a - b); break;
-      case Opcode::And: state.setReg(inst.rd, a & b); break;
-      case Opcode::Or: state.setReg(inst.rd, a | b); break;
-      case Opcode::Xor: state.setReg(inst.rd, a ^ b); break;
-      case Opcode::Sll: state.setReg(inst.rd, a << (b & 63)); break;
-      case Opcode::Srl: state.setReg(inst.rd, a >> (b & 63)); break;
-      case Opcode::Sra:
-        state.setReg(inst.rd,
-                     static_cast<RegValue>(sa >> (b & 63)));
-        break;
-      case Opcode::Slt: state.setReg(inst.rd, sa < sb ? 1 : 0); break;
-      case Opcode::Sltu: state.setReg(inst.rd, a < b ? 1 : 0); break;
-      case Opcode::Mul: state.setReg(inst.rd, a * b); break;
-      case Opcode::Div:
-        state.setReg(inst.rd,
-                     b == 0 ? ~RegValue(0)
-                            : static_cast<RegValue>(sa / sb));
-        break;
-
-      case Opcode::Addi: state.setReg(inst.rd, a + imm64); break;
-      // Logical immediates zero-extend (MIPS-style) so lui+ori can
-      // synthesize full addresses.
-      case Opcode::Andi:
-        state.setReg(inst.rd,
-                     a & static_cast<std::uint16_t>(inst.imm));
-        break;
-      case Opcode::Ori:
-        state.setReg(inst.rd,
-                     a | static_cast<std::uint16_t>(inst.imm));
-        break;
-      case Opcode::Xori:
-        state.setReg(inst.rd,
-                     a ^ static_cast<std::uint16_t>(inst.imm));
-        break;
-      case Opcode::Slli:
-        state.setReg(inst.rd, a << (inst.imm & 63));
-        break;
-      case Opcode::Srli:
-        state.setReg(inst.rd, a >> (inst.imm & 63));
-        break;
-      case Opcode::Slti: state.setReg(inst.rd, sa < inst.imm ? 1 : 0);
-        break;
-      case Opcode::Lui:
-        state.setReg(inst.rd, imm64 << 16);
-        break;
-
-      case Opcode::Ld:
-        res.effAddr = a + imm64;
-        state.setReg(inst.rd, state.mem.read(res.effAddr));
-        break;
-      case Opcode::Sd:
-        res.effAddr = a + imm64;
-        state.mem.write(res.effAddr, b);
-        break;
-
-      case Opcode::Beq:
-        res.taken = a == b;
-        if (res.taken)
-            res.nextPc = inst.targetOf(pc);
-        break;
-      case Opcode::Bne:
-        res.taken = a != b;
-        if (res.taken)
-            res.nextPc = inst.targetOf(pc);
-        break;
-      case Opcode::Blt:
-        res.taken = sa < sb;
-        if (res.taken)
-            res.nextPc = inst.targetOf(pc);
-        break;
-      case Opcode::Bge:
-        res.taken = sa >= sb;
-        if (res.taken)
-            res.nextPc = inst.targetOf(pc);
-        break;
-
-      case Opcode::Jal:
-        state.setReg(inst.rd, Instruction::fallThrough(pc));
-        res.nextPc = inst.targetOf(pc);
-        res.taken = true;
-        break;
-      case Opcode::Jalr: {
-        // Read the target before writing the link register so that
-        // "jalr ra, ra" behaves sensibly.
-        const Addr target = (a + imm64) & ~static_cast<Addr>(3);
-        state.setReg(inst.rd, Instruction::fallThrough(pc));
-        res.nextPc = target;
-        res.taken = true;
-        break;
-      }
-
-      case Opcode::Halt:
-        res.halted = true;
-        res.nextPc = pc;
-        break;
-
-      case Opcode::Fused: {
-        const RegValue value = (a << inst.sh1) + (b << inst.sh2) +
-                               imm64;
-        state.setReg(inst.rd, value);
-        break;
-      }
-
-      default:
-        panic("executeInst: unhandled opcode %u",
-              static_cast<unsigned>(inst.op));
-    }
-
-    return res;
-}
-
 FunctionalCore::FunctionalCore(const Program &program)
     : program_(program)
 {
@@ -146,26 +20,6 @@ FunctionalCore::reset()
     pc_ = program_.entry();
     halted_ = false;
     instCount_ = 0;
-}
-
-const DynInst &
-FunctionalCore::step()
-{
-    tpre_assert(!halted_, "step() after halt");
-
-    const Instruction &inst = program_.instAt(pc_);
-    ExecResult res = executeInst(inst, pc_, state_);
-
-    last_.pc = pc_;
-    last_.inst = inst;
-    last_.nextPc = res.nextPc;
-    last_.taken = res.taken;
-    last_.effAddr = res.effAddr;
-
-    halted_ = res.halted;
-    pc_ = res.nextPc;
-    ++instCount_;
-    return last_;
 }
 
 } // namespace tpre

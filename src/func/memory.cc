@@ -1,28 +1,95 @@
 #include "func/memory.hh"
 
+#include "common/logging.hh"
+#include "common/random.hh"
+
 namespace tpre
 {
 
-std::uint64_t
-Memory::read(Addr addr) const
+namespace
 {
-    const Addr page_num = addr >> pageShift;
-    auto it = pages_.find(page_num);
-    if (it == pages_.end())
-        return 0;
-    const std::size_t word = (addr & (pageBytes - 1)) >> 3;
-    return it->second->words[word];
+
+/** Slot index a page number hashes to under @p mask. */
+inline std::size_t
+slotHash(Addr pageNum, std::size_t mask)
+{
+    return static_cast<std::size_t>(mix64(pageNum)) & mask;
+}
+
+} // namespace
+
+const Memory::Page *
+Memory::find(Addr pageNum) const
+{
+    if (slots_.empty())
+        return nullptr;
+    std::size_t i = slotHash(pageNum, slotMask_);
+    while (true) {
+        const Slot &slot = slots_[i];
+        if (slot.pageNum == pageNum)
+            return slot.page;
+        if (slot.pageNum == kEmptySlot)
+            return nullptr;
+        i = (i + 1) & slotMask_;
+    }
+}
+
+Memory::Page &
+Memory::findOrCreate(Addr pageNum)
+{
+    if (slots_.empty())
+        rehash(initialSlots);
+    std::size_t i = slotHash(pageNum, slotMask_);
+    while (true) {
+        Slot &slot = slots_[i];
+        if (slot.pageNum == pageNum)
+            return *slot.page;
+        if (slot.pageNum == kEmptySlot)
+            break;
+        i = (i + 1) & slotMask_;
+    }
+
+    // Grow at ~70% occupancy so probe chains stay short; the table
+    // holds page *pointers*, so rehashing never moves page data.
+    if ((pool_.size() + 1) * 10 > slots_.size() * 7) {
+        rehash(slots_.size() * 2);
+        i = slotHash(pageNum, slotMask_);
+        while (slots_[i].pageNum != kEmptySlot)
+            i = (i + 1) & slotMask_;
+    }
+
+    pool_.emplace_back();
+    slots_[i] = {pageNum, &pool_.back()};
+    return pool_.back();
 }
 
 void
-Memory::write(Addr addr, std::uint64_t value)
+Memory::rehash(std::size_t newCapacity)
 {
-    const Addr page_num = addr >> pageShift;
-    auto &page = pages_[page_num];
-    if (!page)
-        page = std::make_unique<Page>();
-    const std::size_t word = (addr & (pageBytes - 1)) >> 3;
-    page->words[word] = value;
+    tpre_assert((newCapacity & (newCapacity - 1)) == 0,
+                "page table capacity must be a power of two");
+    std::vector<Slot> fresh(newCapacity);
+    const std::size_t mask = newCapacity - 1;
+    for (const Slot &slot : slots_) {
+        if (slot.pageNum == kEmptySlot)
+            continue;
+        std::size_t i = slotHash(slot.pageNum, mask);
+        while (fresh[i].pageNum != kEmptySlot)
+            i = (i + 1) & mask;
+        fresh[i] = slot;
+    }
+    slots_ = std::move(fresh);
+    slotMask_ = mask;
+}
+
+void
+Memory::clear()
+{
+    pool_.clear();
+    slots_.clear();
+    slotMask_ = 0;
+    mruNum_ = kEmptySlot;
+    mruPage_ = nullptr;
 }
 
 } // namespace tpre

@@ -55,71 +55,6 @@ signExtend(std::uint32_t value, unsigned bits)
 } // namespace
 
 bool
-Instruction::isCondBranch() const
-{
-    return op == Opcode::Beq || op == Opcode::Bne ||
-           op == Opcode::Blt || op == Opcode::Bge;
-}
-
-bool
-Instruction::isControl() const
-{
-    return isCondBranch() || op == Opcode::Jal ||
-           op == Opcode::Jalr || op == Opcode::Halt;
-}
-
-bool
-Instruction::isDirectJump() const
-{
-    return op == Opcode::Jal;
-}
-
-bool
-Instruction::isIndirectJump() const
-{
-    return op == Opcode::Jalr;
-}
-
-bool
-Instruction::isCall() const
-{
-    return (op == Opcode::Jal || op == Opcode::Jalr) && rd == linkReg;
-}
-
-bool
-Instruction::isReturn() const
-{
-    return op == Opcode::Jalr && rd == zeroReg && rs1 == linkReg;
-}
-
-bool
-Instruction::isLoad() const
-{
-    return op == Opcode::Ld;
-}
-
-bool
-Instruction::isStore() const
-{
-    return op == Opcode::Sd;
-}
-
-bool
-Instruction::isBackwardBranch() const
-{
-    return isCondBranch() && imm < 0;
-}
-
-Addr
-Instruction::targetOf(Addr pc) const
-{
-    tpre_assert(isCondBranch() || op == Opcode::Jal);
-    return pc + instBytes +
-           static_cast<Addr>(static_cast<std::int64_t>(imm) *
-                             static_cast<std::int64_t>(instBytes));
-}
-
-bool
 Instruction::writesReg() const
 {
     if (rd == zeroReg)

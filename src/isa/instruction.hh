@@ -20,6 +20,7 @@
 
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace tpre
@@ -66,25 +67,70 @@ struct Instruction
 
     bool operator==(const Instruction &other) const = default;
 
+    // The classification predicates below run for every simulated
+    // instruction on every hot path (functional core, trace
+    // selection, preconstruction path walking), tens of millions
+    // of calls per simulated second — they are defined inline here
+    // rather than in instruction.cc so they compile down to a
+    // compare or two at the call site.
+
     /** Conditional branch? */
-    bool isCondBranch() const;
+    bool
+    isCondBranch() const
+    {
+        return op >= Opcode::Beq && op <= Opcode::Bge;
+    }
+
     /** Any control transfer (branch, Jal, Jalr, Halt)? */
-    bool isControl() const;
+    bool
+    isControl() const
+    {
+        return isCondBranch() || op == Opcode::Jal ||
+               op == Opcode::Jalr || op == Opcode::Halt;
+    }
+
     /** Direct jump (Jal)? */
-    bool isDirectJump() const;
+    bool isDirectJump() const { return op == Opcode::Jal; }
+
     /** Indirect jump (Jalr)? */
-    bool isIndirectJump() const;
+    bool isIndirectJump() const { return op == Opcode::Jalr; }
+
     /** Procedure call: a jump that writes the link register. */
-    bool isCall() const;
+    bool
+    isCall() const
+    {
+        return (op == Opcode::Jal || op == Opcode::Jalr) &&
+               rd == linkReg;
+    }
+
     /** Procedure return: Jalr through the link register, no link. */
-    bool isReturn() const;
-    bool isLoad() const;
-    bool isStore() const;
+    bool
+    isReturn() const
+    {
+        return op == Opcode::Jalr && rd == zeroReg &&
+               rs1 == linkReg;
+    }
+
+    bool isLoad() const { return op == Opcode::Ld; }
+    bool isStore() const { return op == Opcode::Sd; }
+
     /** Conditional branch with a negative offset (loop-closing). */
-    bool isBackwardBranch() const;
+    bool
+    isBackwardBranch() const
+    {
+        return isCondBranch() && imm < 0;
+    }
 
     /** Taken target of a branch/Jal at address @p pc. */
-    Addr targetOf(Addr pc) const;
+    Addr
+    targetOf(Addr pc) const
+    {
+        tpre_assert(isCondBranch() || op == Opcode::Jal);
+        return pc + instBytes +
+               static_cast<Addr>(static_cast<std::int64_t>(imm) *
+                                 static_cast<std::int64_t>(instBytes));
+    }
+
     /** Address of the sequentially next instruction. */
     static Addr fallThrough(Addr pc) { return pc + instBytes; }
 

@@ -20,31 +20,6 @@ Program::Program(Addr base, std::vector<InstWord> code, Addr entry)
         decoded_.push_back(decode(word));
 }
 
-bool
-Program::contains(Addr pc) const
-{
-    return pc >= base_ && pc < end() && pc % instBytes == 0;
-}
-
-std::size_t
-Program::indexOf(Addr pc) const
-{
-    tpre_assert(contains(pc), "fetch outside program image");
-    return static_cast<std::size_t>((pc - base_) / instBytes);
-}
-
-InstWord
-Program::wordAt(Addr pc) const
-{
-    return code_[indexOf(pc)];
-}
-
-const Instruction &
-Program::instAt(Addr pc) const
-{
-    return decoded_[indexOf(pc)];
-}
-
 void
 Program::addSymbol(const std::string &name, Addr addr)
 {

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.hh"
 #include "isa/instruction.hh"
 
 namespace tpre
@@ -37,13 +38,23 @@ class Program
     /** Static code footprint in bytes. */
     std::size_t codeBytes() const { return code_.size() * instBytes; }
 
-    bool contains(Addr pc) const;
+    // contains() and the two fetch accessors are exercised once
+    // per simulated instruction (functional core) and once per
+    // preconstruction path step; they stay inline so fetch is an
+    // index calculation, not a function call.
+
+    bool
+    contains(Addr pc) const
+    {
+        return pc >= base_ && pc < end() && pc % instBytes == 0;
+    }
 
     /** Raw instruction word at @p pc; pc must be in range. */
-    InstWord wordAt(Addr pc) const;
+    InstWord wordAt(Addr pc) const { return code_[indexOf(pc)]; }
 
     /** Pre-decoded instruction at @p pc; pc must be in range. */
-    const Instruction &instAt(Addr pc) const;
+    const Instruction &instAt(Addr pc) const
+    { return decoded_[indexOf(pc)]; }
 
     /** Attach a symbol name to an address (for tests/debugging). */
     void addSymbol(const std::string &name, Addr addr);
@@ -53,7 +64,12 @@ class Program
     std::string symbolAt(Addr addr) const;
 
   private:
-    std::size_t indexOf(Addr pc) const;
+    std::size_t
+    indexOf(Addr pc) const
+    {
+        tpre_assert(contains(pc), "fetch outside program image");
+        return static_cast<std::size_t>((pc - base_) / instBytes);
+    }
 
     Addr base_;
     Addr entry_;

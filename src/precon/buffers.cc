@@ -26,11 +26,11 @@ PreconstructionBuffers::setOf(const TraceId &id) const
 const Trace *
 PreconstructionBuffers::lookup(const TraceId &id) const
 {
-    const std::size_t set = setOf(id);
-    for (unsigned way = 0; way < assoc_; ++way) {
-        const Entry &entry = entries_[set * assoc_ + way];
-        if (entry.valid && entry.trace.id == id)
-            return &entry.trace;
+    const Entry *const base = &entries_[setOf(id) * assoc_];
+    for (const Entry *e = base, *const end = base + assoc_; e != end;
+         ++e) {
+        if (e->valid && e->trace.id == id)
+            return &e->trace;
     }
     return nullptr;
 }

@@ -52,7 +52,7 @@ StartPointStack::top() const
 }
 
 void
-StartPointStack::removeReached(Addr addr)
+StartPointStack::eraseAll(Addr addr)
 {
     std::erase_if(stack_, [addr](const StartPoint &sp) {
         return sp.addr == addr;

@@ -61,9 +61,20 @@ class StartPointStack
     /**
      * Remove any entry with this address: the processor's
      * execution has reached the region, so preconstructing it is
-     * no longer useful.
+     * no longer useful. Inline: probed for every dispatched
+     * instruction, and the common case is a short scan with no
+     * match.
      */
-    void removeReached(Addr addr);
+    void
+    removeReached(Addr addr)
+    {
+        for (const StartPoint &sp : stack_) {
+            if (sp.addr == addr) {
+                eraseAll(addr);
+                return;
+            }
+        }
+    }
 
     /** Drop entries pushed by misspeculated instructions. */
     void removeMisspeculated(const std::vector<Addr> &addrs);
@@ -82,6 +93,9 @@ class StartPointStack
     unsigned depth() const { return depth_; }
 
   private:
+    /** Cold path: drop every entry at @p addr (duplicates exist). */
+    void eraseAll(Addr addr);
+
     unsigned depth_;
     unsigned completedSlots_;
     /** Newest entry at the back. */

@@ -61,8 +61,7 @@ scheduleTrace(Trace &trace)
         return 0;
 
     const TraceDataflow df(trace);
-    std::vector<TraceInst> result;
-    result.reserve(n);
+    TraceBody result;
 
     unsigned moved = 0;
     std::size_t seg_start = 0;

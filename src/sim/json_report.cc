@@ -95,12 +95,27 @@ BenchReport::add(const SimResult &row)
 std::string
 BenchReport::render(double wallSeconds) const
 {
+    std::uint64_t total_insts = 0;
+    for (const SimResult &r : rows_)
+        total_insts += r.instructions;
+
     std::string out;
     out += "{\n";
     out += "  \"bench\": \"" + jsonEscape(bench_) + "\",\n";
     out += "  \"git_ref\": \"" + jsonEscape(gitRef()) + "\",\n";
     out += "  \"wall_seconds\": " + jsonNumber(wallSeconds) + ",\n";
     out += "  \"jobs\": " + u64(jobs_) + ",\n";
+    out += "  \"simulated_instructions\": " + u64(total_insts) +
+           ",\n";
+    // Aggregate throughput: all simulated instructions over the
+    // run's wall-clock. With jobs > 1 this measures the sharded
+    // engine, not a single core.
+    out += "  \"mips\": " +
+           jsonNumber(wallSeconds > 0.0
+                          ? static_cast<double>(total_insts) / 1e6 /
+                                wallSeconds
+                          : 0.0) +
+           ",\n";
     out += "  \"rows\": [";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
         const SimResult &r = rows_[i];
@@ -136,7 +151,10 @@ BenchReport::render(double wallSeconds) const
         out += "\"precon_traces_constructed\": " +
                u64(r.precon.tracesConstructed) + ", ";
         out += "\"precon_buffer_hits\": " +
-               u64(r.precon.bufferHits) + "}";
+               u64(r.precon.bufferHits) + ", ";
+        out += "\"wall_seconds\": " + jsonNumber(r.wallSeconds) +
+               ", ";
+        out += "\"mips\": " + jsonNumber(r.mips) + "}";
     }
     out += rows_.empty() ? "]\n" : "\n  ]\n";
     out += "}\n";

@@ -10,6 +10,9 @@
  *     "git_ref": "<TPRE_GIT_REF | GITHUB_SHA | unknown>",
  *     "wall_seconds": <total wall-clock of the run>,
  *     "jobs": <worker threads used>,
+ *     "simulated_instructions": <sum of row instruction counts>,
+ *     "mips": <simulated_instructions / 1e6 / wall_seconds;
+ *              aggregate across all jobs>,
  *     "rows": [
  *       {
  *         "benchmark": "...", "mode": "fast|timing",
@@ -20,7 +23,8 @@
  *         "pb_hits": N, "icache_supply_per_ki": X,
  *         "icache_misses_per_ki": X,
  *         "icache_miss_supply_per_ki": X,
- *         "precon_traces_constructed": N, "precon_buffer_hits": N
+ *         "precon_traces_constructed": N, "precon_buffer_hits": N,
+ *         "wall_seconds": X, "mips": X
  *       }, ...
  *     ]
  *   }

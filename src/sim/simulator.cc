@@ -1,5 +1,7 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
+
 namespace tpre
 {
 
@@ -34,6 +36,8 @@ Simulator::run(const SimConfig &config)
 
     SimResult result;
     result.config = config;
+
+    const auto start = std::chrono::steady_clock::now();
 
     if (config.mode == SimMode::Fast) {
         FastSim sim(wl.program, config.toFastConfig());
@@ -78,6 +82,15 @@ Simulator::run(const SimConfig &config)
         }
         result.precon = st.precon;
         result.prep = st.prep;
+    }
+
+    result.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (result.wallSeconds > 0.0) {
+        result.mips = static_cast<double>(result.instructions) /
+                      1e6 / result.wallSeconds;
     }
     return result;
 }

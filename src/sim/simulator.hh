@@ -39,6 +39,15 @@ struct SimResult
     double icacheMissSupplyPerKi = 0.0;
     PreconstructionEngine::Stats precon;
     Preprocessor::Stats prep;
+    /**
+     * Wall-clock seconds spent executing the simulation proper.
+     * Workload generation is excluded: workloads are cached and
+     * shared, so charging generation to whichever run happens to
+     * arrive first would make throughput numbers incomparable.
+     */
+    double wallSeconds = 0.0;
+    /** Millions of simulated instructions per wall-clock second. */
+    double mips = 0.0;
 };
 
 /**

@@ -40,7 +40,7 @@ FastSim::processTrace(const std::vector<DynInst> &window,
 
     bool first_seen = false;
     if (config_.trackTraceWorkingSet || config_.diagnostics) {
-        first_seen = seenTraces_.insert(trace.id.hash()).second;
+        first_seen = seenTraces_.insert(trace.id).second;
         if (first_seen)
             ++stats_.traceWorkingSet;
     }
@@ -52,10 +52,11 @@ FastSim::processTrace(const std::vector<DynInst> &window,
         const Trace *buffered = engine_->lookupBuffer(trace.id);
         if (buffered) {
             // Copy the preconstructed trace into the trace cache
-            // and free the buffer entry (Section 3.1).
-            traceCache_.insert(*buffered);
+            // and free the buffer entry (Section 3.1). insert()
+            // hands back the stored image directly, so the served
+            // trace needs no second probe.
+            stored = traceCache_.insert(*buffered);
             engine_->consumeHit(trace.id);
-            stored = traceCache_.lookup(trace.id);
             pb_hit = true;
         }
     }
@@ -90,7 +91,7 @@ FastSim::processTrace(const std::vector<DynInst> &window,
                 ++stats_.missFirstSeen;
             else
                 ++stats_.missRepeat;
-            if (everBuffered_.count(trace.id.hash()))
+            if (everBuffered_.count(trace.id))
                 ++stats_.missEverConstructed;
         }
         slow_path_busy = true;
@@ -123,7 +124,9 @@ FastSim::processTrace(const std::vector<DynInst> &window,
             stats_.slowPathInstsFromMisses += insts_on_line;
         stats_.slowPathInsts += trace.len();
 
-        traceCache_.insert(trace);
+        // Last use of the segmented trace: donate it to the cache
+        // instead of copying.
+        traceCache_.insert(std::move(trace));
     }
 
     stats_.cycles += trace_cycles;
@@ -143,7 +146,7 @@ FastSim::processTrace(const std::vector<DynInst> &window,
         engine_->tick(trace_cycles, !slow_path_busy);
         if (config_.diagnostics) {
             for (const TraceId &id : engine_->drainBufferedLog())
-                everBuffered_.insert(id.hash());
+                everBuffered_.insert(id);
         }
     }
 }
@@ -152,8 +155,8 @@ std::pair<std::size_t, std::size_t>
 FastSim::bufferedSeenIntersection() const
 {
     std::size_t both = 0;
-    for (std::uint64_t h : everBuffered_)
-        both += seenTraces_.count(h);
+    for (const TraceId &id : everBuffered_)
+        both += seenTraces_.count(id);
     return {both, everBuffered_.size()};
 }
 

@@ -128,8 +128,13 @@ class FastSim
     BimodalPredictor bimodal_;
     FillUnit segmenter_;
     std::unique_ptr<PreconstructionEngine> engine_;
-    std::unordered_set<std::uint64_t> seenTraces_;
-    std::unordered_set<std::uint64_t> everBuffered_;
+    /**
+     * Working-set tracking keys on the *full* trace identity, not
+     * its 64-bit hash: a hash collision between distinct ids would
+     * silently undercount traceWorkingSet.
+     */
+    std::unordered_set<TraceId> seenTraces_;
+    std::unordered_set<TraceId> everBuffered_;
     FastSimStats stats_;
 };
 

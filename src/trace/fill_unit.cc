@@ -7,19 +7,6 @@ FillUnit::FillUnit(SelectionPolicy policy) : builder_(policy)
 {
 }
 
-std::optional<Trace>
-FillUnit::feed(const DynInst &dyn)
-{
-    if (!builder_.active())
-        builder_.begin(dyn.pc);
-
-    const bool done =
-        builder_.append(dyn.inst, dyn.pc, dyn.taken, dyn.nextPc);
-    if (!done)
-        return std::nullopt;
-    return builder_.take();
-}
-
 void
 FillUnit::squash()
 {

@@ -25,12 +25,24 @@ class FillUnit
 
     /**
      * Feed one dynamic instruction. Starts a new trace
-     * automatically when idle.
+     * automatically when idle. Inline: called once per committed
+     * instruction.
      *
      * @return the completed trace when this instruction terminated
      *         one, otherwise std::nullopt.
      */
-    std::optional<Trace> feed(const DynInst &dyn);
+    std::optional<Trace>
+    feed(const DynInst &dyn)
+    {
+        if (!builder_.active())
+            builder_.begin(dyn.pc);
+
+        const bool done =
+            builder_.append(dyn.inst, dyn.pc, dyn.taken, dyn.nextPc);
+        if (!done)
+            return std::nullopt;
+        return builder_.take();
+    }
 
     /** Abandon the in-flight partial trace (pipeline squash). */
     void squash();

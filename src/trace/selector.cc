@@ -15,88 +15,17 @@ void
 TraceBuilder::begin(Addr startPc)
 {
     tpre_assert(!active_, "begin() while a trace is in flight");
-    trace_ = Trace();
+    // Reset in place rather than `trace_ = Trace()` so starting a
+    // trace is a handful of scalar stores, not a full-object copy.
+    trace_.insts.clear();
+    trace_.id = TraceId();
     trace_.id.startPc = startPc;
+    trace_.fallThrough = invalidAddr;
+    trace_.endReason = TraceEndReason::MaxLength;
+    trace_.preprocessed = false;
     active_ = true;
     lastBackward_ = -1;
     nextPc_ = startPc;
-}
-
-unsigned
-TraceBuilder::targetLen() const
-{
-    if (lastBackward_ < 0 || policy_.alignGranule == 0)
-        return policy_.maxLen;
-    // End a multiple of alignGranule instructions beyond the most
-    // recent backward branch; pick the largest length that still
-    // fits under the cap.
-    const unsigned beyond_base =
-        static_cast<unsigned>(lastBackward_) + 1;
-    const unsigned room = policy_.maxLen - beyond_base;
-    return beyond_base + policy_.alignGranule *
-                         (room / policy_.alignGranule);
-}
-
-bool
-TraceBuilder::append(const Instruction &inst, Addr pc, bool taken,
-                     Addr nextPc)
-{
-    tpre_assert(active_, "append() without begin()");
-    tpre_assert(pc == nextPc_, "append() off the embedded path");
-    tpre_assert(len() < policy_.maxLen, "append() past trace end");
-
-    // Normalize the taken flag so demand-built and preconstructed
-    // images of the same trace are bit-identical: it carries
-    // information only for conditional branches; unconditional
-    // transfers always "take".
-    const bool stored_taken =
-        inst.isCondBranch()
-            ? taken
-            : inst.isDirectJump() || inst.isIndirectJump() ||
-                  inst.isReturn();
-    trace_.insts.push_back(
-        {pc, inst, stored_taken, static_cast<std::uint8_t>(len())});
-    nextPc_ = nextPc;
-
-    if (inst.isCondBranch()) {
-        tpre_assert(trace_.id.numBranches < 16);
-        if (taken)
-            trace_.id.branchFlags |=
-                std::uint16_t(1) << trace_.id.numBranches;
-        ++trace_.id.numBranches;
-        if (inst.isBackwardBranch())
-            lastBackward_ = static_cast<int>(len()) - 1;
-    }
-
-    // Rule 1: hard terminators.
-    if (inst.isReturn()) {
-        trace_.endReason = TraceEndReason::Return;
-        trace_.fallThrough = invalidAddr;
-        return true;
-    }
-    if (inst.isIndirectJump()) {
-        trace_.endReason = TraceEndReason::IndirectJump;
-        trace_.fallThrough = invalidAddr;
-        return true;
-    }
-    if (inst.op == Opcode::Halt) {
-        trace_.endReason = TraceEndReason::Halt;
-        trace_.fallThrough = invalidAddr;
-        return true;
-    }
-
-    // Rules 2 and 3: length-based termination.
-    const unsigned target = targetLen();
-    tpre_assert(len() <= target, "alignment target moved backwards");
-    if (len() == target) {
-        trace_.endReason = (lastBackward_ >= 0 &&
-                            target != policy_.maxLen)
-                               ? TraceEndReason::Alignment
-                               : TraceEndReason::MaxLength;
-        trace_.fallThrough = nextPc;
-        return true;
-    }
-    return false;
 }
 
 Trace
@@ -112,6 +41,10 @@ TraceBuilder::take()
         len() < policy_.maxLen) {
         trace_.fallThrough = nextPc_;
     }
+    // The identity is final from here on: warm its hash cache once
+    // so every downstream probe (TC, buffers, working set) reuses
+    // it.
+    trace_.id.rehash();
     return std::move(trace_);
 }
 

@@ -17,6 +17,7 @@
 #ifndef TPRE_TRACE_SELECTOR_HH
 #define TPRE_TRACE_SELECTOR_HH
 
+#include "common/logging.hh"
 #include "trace/trace.hh"
 
 namespace tpre
@@ -56,11 +57,77 @@ class TraceBuilder
      * Append the next instruction along the path. @p taken is the
      * (actual or assumed) outcome for conditional branches.
      *
+     * Defined inline: both the fill unit and every preconstruction
+     * constructor call this once per path instruction, so it is the
+     * single hottest function in the simulator.
+     *
      * @return true when the trace is complete after this
      *         instruction; retrieve it with take().
      */
-    bool append(const Instruction &inst, Addr pc, bool taken,
-                Addr nextPc);
+    bool
+    append(const Instruction &inst, Addr pc, bool taken, Addr nextPc)
+    {
+        tpre_assert(active_, "append() without begin()");
+        tpre_assert(pc == nextPc_, "append() off the embedded path");
+        tpre_assert(len() < policy_.maxLen,
+                    "append() past trace end");
+
+        // Normalize the taken flag so demand-built and
+        // preconstructed images of the same trace are
+        // bit-identical: it carries information only for
+        // conditional branches; unconditional transfers always
+        // "take".
+        const bool stored_taken =
+            inst.isCondBranch()
+                ? taken
+                : inst.isDirectJump() || inst.isIndirectJump() ||
+                      inst.isReturn();
+        trace_.insts.push_back(
+            {pc, inst, stored_taken,
+             static_cast<std::uint8_t>(len())});
+        nextPc_ = nextPc;
+
+        if (inst.isCondBranch()) {
+            tpre_assert(trace_.id.numBranches < 16);
+            if (taken)
+                trace_.id.branchFlags |=
+                    std::uint16_t(1) << trace_.id.numBranches;
+            ++trace_.id.numBranches;
+            if (inst.isBackwardBranch())
+                lastBackward_ = static_cast<int>(len()) - 1;
+        }
+
+        // Rule 1: hard terminators.
+        if (inst.isReturn()) {
+            trace_.endReason = TraceEndReason::Return;
+            trace_.fallThrough = invalidAddr;
+            return true;
+        }
+        if (inst.isIndirectJump()) {
+            trace_.endReason = TraceEndReason::IndirectJump;
+            trace_.fallThrough = invalidAddr;
+            return true;
+        }
+        if (inst.op == Opcode::Halt) {
+            trace_.endReason = TraceEndReason::Halt;
+            trace_.fallThrough = invalidAddr;
+            return true;
+        }
+
+        // Rules 2 and 3: length-based termination.
+        const unsigned target = targetLen();
+        tpre_assert(len() <= target,
+                    "alignment target moved backwards");
+        if (len() == target) {
+            trace_.endReason = (lastBackward_ >= 0 &&
+                                target != policy_.maxLen)
+                                   ? TraceEndReason::Alignment
+                                   : TraceEndReason::MaxLength;
+            trace_.fallThrough = nextPc;
+            return true;
+        }
+        return false;
+    }
 
     /**
      * Finalize and return the completed trace; resets the builder.
@@ -76,7 +143,20 @@ class TraceBuilder
 
   private:
     /** Length at which rules 2/3 will terminate the current trace. */
-    unsigned targetLen() const;
+    unsigned
+    targetLen() const
+    {
+        if (lastBackward_ < 0 || policy_.alignGranule == 0)
+            return policy_.maxLen;
+        // End a multiple of alignGranule instructions beyond the
+        // most recent backward branch; pick the largest length
+        // that still fits under the cap.
+        const unsigned beyond_base =
+            static_cast<unsigned>(lastBackward_) + 1;
+        const unsigned room = policy_.maxLen - beyond_base;
+        return beyond_base + policy_.alignGranule *
+                             (room / policy_.alignGranule);
+    }
 
     SelectionPolicy policy_;
     Trace trace_;

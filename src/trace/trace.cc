@@ -6,7 +6,7 @@ namespace tpre
 {
 
 std::uint64_t
-TraceId::hash() const
+TraceId::computeHash() const
 {
     std::uint64_t x = startPc;
     x ^= static_cast<std::uint64_t>(branchFlags) << 40;

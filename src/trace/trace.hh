@@ -10,8 +10,9 @@
 #ifndef TPRE_TRACE_TRACE_HH
 #define TPRE_TRACE_TRACE_HH
 
-#include <vector>
+#include <functional>
 
+#include "common/inline_vec.hh"
 #include "isa/instruction.hh"
 
 namespace tpre
@@ -22,6 +23,15 @@ namespace tpre
  * outcomes (bit i = i-th branch taken) and branch count. Both the
  * trace cache and the preconstruction buffers index by a hash of
  * all three fields (Section 3.1 of the paper).
+ *
+ * The hash is cached alongside the identity: every frontend probe
+ * (trace cache, preconstruction buffers, working-set tracking)
+ * hashes the same id, so mixing the three fields on each lookup
+ * was measurable on the per-trace hot path. The cache fills at
+ * construction (three-field constructor) or on first use; code
+ * that mutates the public identity fields in place (the trace
+ * builder, tests) must not have observed hash() beforehand —
+ * builders assemble the id first and hash only finished traces.
  */
 struct TraceId
 {
@@ -29,12 +39,46 @@ struct TraceId
     std::uint16_t branchFlags = 0;
     std::uint8_t numBranches = 0;
 
-    bool operator==(const TraceId &other) const = default;
+    TraceId() = default;
+    TraceId(Addr pc, std::uint16_t flags, std::uint8_t branches)
+        : startPc(pc), branchFlags(flags), numBranches(branches)
+    {
+        hash_ = computeHash();
+    }
+
+    bool
+    operator==(const TraceId &other) const
+    {
+        return startPc == other.startPc &&
+               branchFlags == other.branchFlags &&
+               numBranches == other.numBranches;
+    }
 
     bool valid() const { return startPc != invalidAddr; }
 
-    /** Well-mixed hash over all identity fields. */
-    std::uint64_t hash() const;
+    /** Well-mixed hash over all identity fields (cached). */
+    std::uint64_t
+    hash() const
+    {
+        if (hash_ == kNoHash)
+            hash_ = computeHash();
+        return hash_;
+    }
+
+    /** Recompute the cached hash after in-place field mutation. */
+    void rehash() const { hash_ = computeHash(); }
+
+  private:
+    /**
+     * Sentinel for "not yet computed". computeHash() can produce 0
+     * for one adversarial identity; that id merely recomputes per
+     * call, it is never wrong.
+     */
+    static constexpr std::uint64_t kNoHash = 0;
+
+    std::uint64_t computeHash() const;
+
+    mutable std::uint64_t hash_ = kNoHash;
 };
 
 /** One instruction inside a trace, with its original address. */
@@ -63,11 +107,14 @@ enum class TraceEndReason : std::uint8_t
     Halt,           ///< program end
 };
 
+/** Inline fixed-capacity trace body (no heap allocation). */
+using TraceBody = InlineVec<TraceInst, kMaxTraceLen>;
+
 /** A completed trace. */
 struct Trace
 {
     TraceId id;
-    std::vector<TraceInst> insts;
+    TraceBody insts;
     /**
      * Address of the instruction that follows the trace along its
      * embedded path; invalidAddr when the trace ends in an indirect
@@ -86,5 +133,16 @@ struct Trace
 };
 
 } // namespace tpre
+
+/** Hash full trace identities (working-set sets, diagnostics). */
+template <>
+struct std::hash<tpre::TraceId>
+{
+    std::size_t
+    operator()(const tpre::TraceId &id) const noexcept
+    {
+        return static_cast<std::size_t>(id.hash());
+    }
+};
 
 #endif // TPRE_TRACE_TRACE_HH

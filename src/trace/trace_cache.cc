@@ -32,11 +32,12 @@ TraceCache::entryAt(std::size_t set, unsigned way)
 TraceCache::Entry *
 TraceCache::findEntry(const TraceId &id)
 {
-    const std::size_t set = setOf(id);
-    for (unsigned way = 0; way < assoc_; ++way) {
-        Entry &entry = entryAt(set, way);
-        if (entry.valid && entry.trace.id == id)
-            return &entry;
+    // Probe the set's ways as one contiguous run; entries_ lays
+    // sets out back to back, so this is a short linear scan.
+    Entry *const base = &entries_[setOf(id) * assoc_];
+    for (Entry *e = base, *const end = base + assoc_; e != end; ++e) {
+        if (e->valid && e->trace.id == id)
+            return e;
     }
     return nullptr;
 }
@@ -66,18 +67,18 @@ TraceCache::contains(const TraceId &id) const
 TraceCache::Entry &
 TraceCache::victimIn(std::size_t set)
 {
-    Entry *victim = &entryAt(set, 0);
-    for (unsigned way = 0; way < assoc_; ++way) {
-        Entry &entry = entryAt(set, way);
-        if (!entry.valid)
-            return entry;
-        if (entry.lastUse < victim->lastUse)
-            victim = &entry;
+    Entry *const base = &entries_[set * assoc_];
+    Entry *victim = base;
+    for (Entry *e = base, *const end = base + assoc_; e != end; ++e) {
+        if (!e->valid)
+            return *e;
+        if (e->lastUse < victim->lastUse)
+            victim = e;
     }
     return *victim;
 }
 
-void
+const Trace *
 TraceCache::insert(Trace trace)
 {
     tpre_assert(trace.id.valid(), "inserting invalid trace");
@@ -85,12 +86,13 @@ TraceCache::insert(Trace trace)
     if (Entry *existing = findEntry(trace.id)) {
         existing->trace = std::move(trace);
         existing->lastUse = tick();
-        return;
+        return &existing->trace;
     }
     Entry &victim = victimIn(setOf(trace.id));
     victim.valid = true;
     victim.trace = std::move(trace);
     victim.lastUse = tick();
+    return &victim.trace;
 }
 
 bool

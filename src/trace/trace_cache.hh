@@ -36,8 +36,14 @@ class TraceCache
     /** Probe without disturbing replacement state. */
     bool contains(const TraceId &id) const;
 
-    /** Insert a trace, evicting the set's LRU entry if needed. */
-    void insert(Trace trace);
+    /**
+     * Insert a trace, evicting the set's LRU entry if needed.
+     *
+     * @return the stored image, so hit paths that insert-then-serve
+     *         (preconstruction-buffer promotion) need no second
+     *         probe.
+     */
+    const Trace *insert(Trace trace);
 
     /** Remove a trace if present; returns true when removed. */
     bool invalidate(const TraceId &id);

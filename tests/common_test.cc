@@ -1,14 +1,17 @@
 /**
  * @file
  * Unit tests for the common module: PRNG, hashing, statistics,
- * strict numeric parsing, and logging thread tags.
+ * strict numeric parsing, logging thread tags, and the InlineVec
+ * fixed-capacity container the hot paths store trace bodies in.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
+#include "common/inline_vec.hh"
 #include "common/logging.hh"
 #include "common/parse.hh"
 #include "common/random.hh"
@@ -282,6 +285,128 @@ TEST(StatsTest, HistogramEmptyMean)
     StatGroup group("g");
     Histogram h(group, "x", "", 2);
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(InlineVecTest, StartsEmptyWithFixedCapacity)
+{
+    InlineVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.capacity(), 4u);
+    EXPECT_EQ(v.begin(), v.end());
+}
+
+TEST(InlineVecTest, PushBackIndexingAndIteration)
+{
+    InlineVec<int, 8> v;
+    for (int i = 0; i < 5; ++i)
+        v.push_back(i * 10);
+    EXPECT_EQ(v.size(), 5u);
+    EXPECT_EQ(v.front(), 0);
+    EXPECT_EQ(v.back(), 40);
+    EXPECT_EQ(v[3], 30);
+
+    int expected = 0;
+    for (int x : v) {
+        EXPECT_EQ(x, expected);
+        expected += 10;
+    }
+    EXPECT_EQ(expected, 50);
+}
+
+TEST(InlineVecTest, CapacityOverflowPanics)
+{
+    InlineVec<int, 2> v;
+    v.push_back(1);
+    v.push_back(2);
+    EXPECT_DEATH(v.push_back(3), "capacity exceeded");
+}
+
+TEST(InlineVecTest, PopBackAndEmptyPopPanics)
+{
+    InlineVec<int, 2> v;
+    v.push_back(7);
+    v.pop_back();
+    EXPECT_TRUE(v.empty());
+    EXPECT_DEATH(v.pop_back(), "pop_back");
+}
+
+TEST(InlineVecTest, ResizeGrowsValueInitializedAndShrinks)
+{
+    InlineVec<int, 8> v;
+    v.push_back(5);
+    v.resize(4);
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 5);
+    EXPECT_EQ(v[1], 0);
+    EXPECT_EQ(v[3], 0);
+    v.resize(1);
+    EXPECT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 5);
+    EXPECT_DEATH(v.resize(9), "beyond capacity");
+}
+
+TEST(InlineVecTest, CopyAndMovePreserveContents)
+{
+    InlineVec<int, 4> a;
+    a.push_back(1);
+    a.push_back(2);
+
+    InlineVec<int, 4> b(a);
+    ASSERT_EQ(b.size(), 2u);
+    EXPECT_EQ(b[0], 1);
+    EXPECT_EQ(b[1], 2);
+
+    InlineVec<int, 4> c;
+    c.push_back(99);
+    c = a;
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(c[1], 2);
+
+    InlineVec<int, 4> d(std::move(b));
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0], 1);
+
+    InlineVec<int, 4> e;
+    e = std::move(c);
+    ASSERT_EQ(e.size(), 2u);
+    EXPECT_EQ(e[1], 2);
+}
+
+TEST(InlineVecTest, EqualityComparesLivePrefixOnly)
+{
+    InlineVec<int, 4> a;
+    InlineVec<int, 4> b;
+    EXPECT_TRUE(a == b);
+
+    a.push_back(1);
+    EXPECT_FALSE(a == b);
+
+    b.push_back(1);
+    EXPECT_TRUE(a == b);
+
+    // Divergent history beyond the live prefix must not matter.
+    a.push_back(42);
+    a.pop_back();
+    b.push_back(7);
+    b.pop_back();
+    EXPECT_TRUE(a == b);
+
+    a.push_back(3);
+    b.push_back(4);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(InlineVecTest, ClearDropsAllElements)
+{
+    InlineVec<int, 4> v;
+    v.push_back(1);
+    v.push_back(2);
+    v.clear();
+    EXPECT_TRUE(v.empty());
+    v.push_back(9);
+    EXPECT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 9);
 }
 
 } // namespace

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/random.hh"
 #include "func/core.hh"
 #include "isa/builder.hh"
 
@@ -55,6 +58,101 @@ TEST(MemoryTest, SparsePages)
     EXPECT_EQ(mem.numPages(), 3u);
     mem.clear();
     EXPECT_EQ(mem.read(0x100000), 0u);
+}
+
+TEST(MemoryTest, ColdReadAllocatesNothing)
+{
+    Memory mem;
+    // Reads of untouched pages must not create them — workload
+    // address streams probe far more pages than they dirty.
+    for (Addr addr = 0; addr < 64 * Memory::pageBytes;
+         addr += Memory::pageBytes)
+        EXPECT_EQ(mem.read(addr), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);
+
+    // Reading next to a single dirty page still allocates nothing.
+    mem.write(0x8000, 5);
+    EXPECT_EQ(mem.read(0x8000 + Memory::pageBytes), 0u);
+    EXPECT_EQ(mem.numPages(), 1u);
+}
+
+TEST(MemoryTest, CollidingPagesProbeCorrectly)
+{
+    // Page numbers whose hashes collide in the initial table land
+    // in a shared linear-probe chain; every page must still read
+    // back its own data.
+    const std::size_t mask = Memory::initialSlots - 1;
+    std::vector<Addr> colliding;
+    const std::size_t target =
+        static_cast<std::size_t>(mix64(1)) & mask;
+    for (Addr page = 1; colliding.size() < 5 && page < 100000;
+         ++page) {
+        if ((static_cast<std::size_t>(mix64(page)) & mask) ==
+            target)
+            colliding.push_back(page);
+    }
+    ASSERT_EQ(colliding.size(), 5u);
+
+    Memory mem;
+    for (Addr page : colliding)
+        mem.write(page * Memory::pageBytes, page);
+    EXPECT_EQ(mem.numPages(), colliding.size());
+    for (Addr page : colliding)
+        EXPECT_EQ(mem.read(page * Memory::pageBytes), page);
+
+    // A miss that lands mid-chain must probe past the collisions
+    // and still report cold.
+    for (Addr page = 100000; page < 100100; ++page) {
+        if ((static_cast<std::size_t>(mix64(page)) & mask) ==
+            target) {
+            EXPECT_EQ(mem.read(page * Memory::pageBytes), 0u);
+        }
+    }
+}
+
+TEST(MemoryTest, GrowsPastInitialCapacity)
+{
+    Memory mem;
+    const std::size_t pages = Memory::initialSlots * 4;
+    for (std::size_t i = 0; i < pages; ++i)
+        mem.write(static_cast<Addr>(i) * Memory::pageBytes, i + 1);
+    EXPECT_EQ(mem.numPages(), pages);
+    for (std::size_t i = 0; i < pages; ++i)
+        EXPECT_EQ(mem.read(static_cast<Addr>(i) *
+                           Memory::pageBytes),
+                  i + 1);
+}
+
+TEST(MemoryTest, ClearInvalidatesMruCache)
+{
+    Memory mem;
+    mem.write(0x6000, 123);
+    // Make 0x6000's page the MRU entry, then clear: the subsequent
+    // read must see a cold page, not the stale cached pointer.
+    EXPECT_EQ(mem.read(0x6000), 123u);
+    mem.clear();
+    EXPECT_EQ(mem.read(0x6000), 0u);
+    EXPECT_EQ(mem.numPages(), 0u);
+
+    // And the memory must be fully usable again afterwards.
+    mem.write(0x6000, 9);
+    EXPECT_EQ(mem.read(0x6000), 9u);
+}
+
+TEST(MemoryTest, MruTracksPageSwitches)
+{
+    Memory mem;
+    mem.write(0x1000, 11);
+    mem.write(0x2000, 22);
+    // Alternate between two pages: each switch must re-resolve the
+    // page rather than serve the previous page's word.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(mem.read(0x1000), 11u);
+        EXPECT_EQ(mem.read(0x2000), 22u);
+    }
+    mem.write(0x1000, 33);
+    EXPECT_EQ(mem.read(0x1000), 33u);
+    EXPECT_EQ(mem.read(0x2000), 22u);
 }
 
 TEST(ArchStateTest, ZeroRegisterIsImmutable)

@@ -232,6 +232,40 @@ TEST(JsonReportTest, EmptyRowsStillRenderValidDocument)
     BenchReport report("empty", 1);
     const std::string json = report.render(0.0);
     EXPECT_NE(json.find("\"rows\": []"), std::string::npos);
+    // No rows, no wall time: the aggregate throughput must render
+    // as a definite zero, not NaN/null.
+    EXPECT_NE(json.find("\"mips\": 0"), std::string::npos);
+}
+
+TEST(JsonReportTest, ReportsThroughputFields)
+{
+    BenchReport report("mips_test", 1);
+    Simulator sim;
+    SimConfig cfg;
+    cfg.benchmark = "compress";
+    cfg.maxInsts = 30000;
+    const SimResult r = sim.run(cfg);
+    EXPECT_GT(r.wallSeconds, 0.0);
+    EXPECT_GT(r.mips, 0.0);
+    report.add(r);
+
+    const std::string json = report.render(2.0);
+    // Report level: total simulated work plus aggregate MIPS over
+    // the supplied wall time.
+    EXPECT_NE(json.find("\"simulated_instructions\": " +
+                        std::to_string(r.instructions)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mips\": " +
+                        jsonNumber(static_cast<double>(
+                                       r.instructions) /
+                                   1e6 / 2.0)),
+              std::string::npos);
+    // Row level: per-simulation wall time and MIPS.
+    EXPECT_NE(json.find("\"wall_seconds\": " +
+                        jsonNumber(r.wallSeconds)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mips\": " + jsonNumber(r.mips)),
+              std::string::npos);
 }
 
 } // namespace

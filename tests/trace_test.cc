@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "common/random.hh"
 #include "func/core.hh"
 #include "isa/builder.hh"
@@ -53,6 +55,53 @@ TEST(TraceIdTest, EqualityAndHash)
     EXPECT_NE(a.hash(), c.hash());
     EXPECT_FALSE(TraceId().valid());
     EXPECT_TRUE(a.valid());
+}
+
+TEST(TraceIdTest, ConstructedHashMatchesLazyHash)
+{
+    // The three-field constructor precomputes the hash; an id
+    // assembled by mutating a default-constructed one must lazily
+    // arrive at the same value.
+    TraceId eager{0x4000, 0x5, 3};
+    TraceId lazy;
+    lazy.startPc = 0x4000;
+    lazy.branchFlags = 0x5;
+    lazy.numBranches = 3;
+    EXPECT_EQ(eager.hash(), lazy.hash());
+}
+
+TEST(TraceIdTest, RehashAfterInPlaceMutation)
+{
+    TraceId id{0x4000, 0x5, 3};
+    const std::uint64_t before = id.hash();
+    id.branchFlags = 0x7;
+    id.rehash();
+    EXPECT_EQ(id.hash(), TraceId(0x4000, 0x7, 3).hash());
+    EXPECT_NE(id.hash(), before);
+}
+
+TEST(TraceIdTest, EqualityIgnoresHashCacheState)
+{
+    // One id with a warm cache, one without: identity comparison
+    // must depend only on the public fields.
+    TraceId warm{0x4000, 0x5, 3};
+    (void)warm.hash();
+    TraceId cold;
+    cold.startPc = 0x4000;
+    cold.branchFlags = 0x5;
+    cold.numBranches = 3;
+    EXPECT_EQ(warm, cold);
+}
+
+TEST(TraceIdTest, StdHashUsableInUnorderedSet)
+{
+    std::unordered_set<TraceId> seen;
+    seen.insert(TraceId{0x1000, 0x0, 0});
+    seen.insert(TraceId{0x1000, 0x1, 1});
+    seen.insert(TraceId{0x1000, 0x1, 1});
+    EXPECT_EQ(seen.size(), 2u);
+    EXPECT_TRUE(seen.contains(TraceId(0x1000, 0x1, 1)));
+    EXPECT_FALSE(seen.contains(TraceId(0x2000, 0x1, 1)));
 }
 
 TEST(TraceBuilderTest, EndsAtMaxLength)
@@ -335,16 +384,18 @@ TEST(FillUnitTest, SegmentsPartitionTheStream)
         const DynInst &dyn = core.step();
         ++seen;
         const bool starts_new = !fill.building();
-        if (starts_new)
+        if (starts_new) {
             EXPECT_EQ(dyn.pc, expected_start);
+        }
         if (auto t = fill.feed(dyn)) {
             ++traces;
             ASSERT_GE(t->len(), 1u);
             ASSERT_LE(t->len(), maxTraceLen);
             // The next trace starts where this one ended.
             expected_start = dyn.nextPc;
-            if (t->fallThrough != invalidAddr)
+            if (t->fallThrough != invalidAddr) {
                 EXPECT_EQ(t->fallThrough, dyn.nextPc);
+            }
         }
     }
     EXPECT_GT(traces, 1000u);

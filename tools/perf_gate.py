@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""CI throughput gate.
+
+Compares the aggregate MIPS of a bench report (BENCH_<name>.json)
+against the committed reference in bench/BASELINE.json and fails on
+a large regression. CI machines are slower and noisier than the
+reference container, so the tolerance is deliberately generous: the
+gate only trips when throughput drops by the --tolerance factor
+(default 2x) — it catches "someone reintroduced a heap allocation
+per instruction", not 5% jitter.
+
+Usage:
+    perf_gate.py <BENCH_report.json> [--baseline bench/BASELINE.json]
+                 [--tolerance 2.0]
+
+Exit status: 0 when the report passes (or has no baseline entry,
+with a notice), 1 on a regression or malformed report.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_<name>.json to check")
+    parser.add_argument("--baseline", default="bench/BASELINE.json",
+                        help="committed reference MIPS file")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="maximum allowed slowdown factor")
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        report = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    for field in ("bench", "mips", "simulated_instructions",
+                  "wall_seconds"):
+        if field not in report:
+            print(f"perf gate: report {args.report} lacks required "
+                  f"field '{field}'")
+            return 1
+
+    name = report["bench"]
+    mips = report["mips"]
+    if not isinstance(mips, (int, float)) or mips <= 0:
+        print(f"perf gate: report {args.report} has non-positive "
+              f"mips {mips!r}")
+        return 1
+
+    entry = baseline.get(name)
+    if entry is None:
+        print(f"perf gate: no baseline entry for '{name}'; "
+              f"nothing to compare (add one to {args.baseline})")
+        return 0
+
+    ref = float(entry["mips"])
+    floor = ref / args.tolerance
+    verdict = "PASS" if mips >= floor else "FAIL"
+    print(f"perf gate [{verdict}]: {name} at {mips:.2f} MIPS, "
+          f"baseline {ref:.2f}, floor {floor:.2f} "
+          f"(tolerance {args.tolerance:g}x)")
+    return 0 if mips >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
