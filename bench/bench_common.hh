@@ -17,6 +17,7 @@
 #include "check/stats_check.hh"
 #include "common/logging.hh"
 #include "common/parse.hh"
+#include "obs/obs.hh"
 #include "par/parallel_sweep.hh"
 #include "par/thread_pool.hh"
 #include "sim/json_report.hh"
@@ -72,7 +73,9 @@ verified(const SimResult &r)
 
 /**
  * Per-binary harness: parses --jobs N (or TPRE_JOBS, or all
- * hardware threads by default), times the run, collects verified
+ * hardware threads by default) and --trace-out FILE (enable the
+ * tpre::obs tracer and export Chrome trace_event JSON on finish —
+ * open the file in Perfetto), times the run, collects verified
  * result rows, and writes BENCH_<name>.json on finish(). Intended
  * use:
  *
@@ -90,20 +93,28 @@ class Harness
   public:
     Harness(const char *name, int argc, char **argv)
         : start_(std::chrono::steady_clock::now()),
-          jobs_(parseCommandLine(argc, argv)),
-          report_(name, jobs_)
+          opts_(parseCommandLine(argc, argv)),
+          report_(name, opts_.jobs)
     {
+        if (!opts_.traceOut.empty())
+            obs::Tracer::instance().setEnabled(true);
+        benchStart_ = obs::wallMicros();
+        TPRE_TRACE_INSTANT("bench", name, obs::Domain::Wall,
+                           benchStart_);
     }
 
     /** Worker threads the binary's sweeps shard over. */
-    unsigned jobs() const { return jobs_; }
+    unsigned jobs() const { return opts_.jobs; }
+
+    /** Chrome-trace output path ("" when --trace-out not given). */
+    const std::string &traceOut() const { return opts_.traceOut; }
 
     /** SweepOptions preset with this run's job count. */
     par::SweepOptions
     sweepOptions() const
     {
         par::SweepOptions opts;
-        opts.jobs = jobs_;
+        opts.jobs = opts_.jobs;
         return opts;
     }
 
@@ -133,36 +144,72 @@ class Harness
                 : 0.0;
         std::printf("\n[%u job%s, %.2fs, %.2f MIPS] wrote %s "
                     "(%zu rows)\n",
-                    jobs_, jobs_ == 1 ? "" : "s", wall, mips,
-                    path.c_str(), report_.rows());
+                    opts_.jobs, opts_.jobs == 1 ? "" : "s", wall,
+                    mips, path.c_str(), report_.rows());
+        if (!opts_.traceOut.empty()) {
+            TPRE_TRACE_COMPLETE("bench", "run", obs::Domain::Wall,
+                                benchStart_,
+                                obs::wallMicros() - benchStart_,
+                                report_.rows());
+            const obs::Tracer &tracer = obs::Tracer::instance();
+            if (!tracer.writeChromeJson(opts_.traceOut)) {
+                warn("cannot write Chrome trace to %s",
+                     opts_.traceOut.c_str());
+                return 1;
+            }
+            std::printf("wrote Chrome trace %s (%llu events, "
+                        "%llu dropped); open in Perfetto\n",
+                        opts_.traceOut.c_str(),
+                        static_cast<unsigned long long>(
+                            tracer.numEvents()),
+                        static_cast<unsigned long long>(
+                            tracer.droppedEvents()));
+        }
         return 0;
     }
 
   private:
-    static unsigned
+    struct Options
+    {
+        unsigned jobs = 1;
+        std::string traceOut;
+    };
+
+    static Options
     parseCommandLine(int argc, char **argv)
     {
-        unsigned jobs = par::defaultJobs();
+        Options opts;
+        opts.jobs = par::defaultJobs();
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg == "--jobs") {
                 if (i + 1 >= argc)
                     fatal("--jobs needs a value");
-                jobs = parseJobs(argv[++i], "--jobs");
+                opts.jobs = parseJobs(argv[++i], "--jobs");
             } else if (arg.rfind("--jobs=", 0) == 0) {
-                jobs = parseJobs(arg.c_str() + 7, "--jobs");
+                opts.jobs = parseJobs(arg.c_str() + 7, "--jobs");
+            } else if (arg == "--trace-out") {
+                if (i + 1 >= argc)
+                    fatal("--trace-out needs a file path");
+                opts.traceOut = argv[++i];
+            } else if (arg.rfind("--trace-out=", 0) == 0) {
+                opts.traceOut = arg.substr(12);
+                if (opts.traceOut.empty())
+                    fatal("--trace-out needs a file path");
             } else {
-                fatal("unknown option '%s' (supported: --jobs N; "
-                      "budget via TPRE_INSTS)",
+                fatal("unknown option '%s' (supported: --jobs N, "
+                      "--trace-out FILE; budget via TPRE_INSTS)",
                       arg.c_str());
             }
         }
-        return jobs;
+        return opts;
     }
 
     std::chrono::steady_clock::time_point start_;
-    unsigned jobs_;
+    Options opts_;
     BenchReport report_;
+    /** obs::wallMicros() at harness construction (bench span). */
+    std::uint64_t benchStart_ = 0;
     /** Total simulated instructions across recorded rows. */
     std::uint64_t simulatedInsts_ = 0;
 };

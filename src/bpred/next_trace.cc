@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "obs/obs.hh"
 
 namespace tpre
 {
@@ -55,6 +56,7 @@ NextTracePredictor::predict() const
     const Entry &secondary = secondary_[secondaryIndex()];
 
     ++stats_.predictions;
+    TPRE_OBS_COUNT("ntp.predictions");
     if (primary.pred.valid() && primary.conf >= config_.confThreshold) {
         ++stats_.fromPrimary;
         return primary.pred;
@@ -87,6 +89,7 @@ NextTracePredictor::advance(const TraceId &actual, bool containsCall,
 {
     tpre_assert(actual.valid());
 
+    TPRE_OBS_COUNT("ntp.updates");
     train(primary_[primaryIndex()], actual);
     train(secondary_[secondaryIndex()], actual);
 

@@ -239,8 +239,16 @@ diffModels(const Program &program, const DiffConfig &cfg)
         fcfg.hooks = tapsFor(obs, false);
 
         FastSim sim(program, fcfg);
+        const ObsCounters before = ObsCounters::captureThread();
         const FastSimStats &stats = sim.run(cfg.maxInsts);
+        const ObsCounters delta =
+            ObsCounters::captureThread() - before;
 
+        if (auto f = prefixed("fastsim",
+                              obsReconcilesFast(delta, stats))) {
+            result.failure = f;
+            return result;
+        }
         if (obs.served) {
             result.failure = prefixed("fastsim", obs.served);
             return result;
@@ -283,8 +291,16 @@ diffModels(const Program &program, const DiffConfig &cfg)
         pcfg.hooks = tapsFor(obs, true);
 
         TraceProcessor proc(program, pcfg);
+        const ObsCounters before = ObsCounters::captureThread();
         const ProcessorStats &stats = proc.run(cfg.maxInsts);
+        const ObsCounters delta =
+            ObsCounters::captureThread() - before;
 
+        if (auto f = prefixed("processor",
+                              obsReconcilesTiming(delta, stats))) {
+            result.failure = f;
+            return result;
+        }
         if (obs.served) {
             result.failure = prefixed("processor", obs.served);
             return result;

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Instrumentation entry points for tpre::obs. Hot-path code uses
+ * these macros only — never the registry/tracer classes directly —
+ * so a -DTPRE_OBS_DISABLED=ON build compiles every call site to
+ * ((void)0) with zero residue (no statics, no atomics, no strings).
+ * The obs classes themselves are always compiled: reports and
+ * tests read the (empty) registry in either configuration, and
+ * tpre::obs::kEnabled tells them which world they are in.
+ *
+ * All counter/gauge/histogram names and trace categories must be
+ * string literals: the metric name is resolved to a cell offset
+ * once via a function-local static handle, and the tracer stores
+ * the char pointers unescaped until export.
+ */
+
+#ifndef TPRE_OBS_OBS_HH
+#define TPRE_OBS_OBS_HH
+
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+
+namespace tpre::obs
+{
+
+/** True when instrumentation is compiled in (the default). */
+#ifdef TPRE_OBS_DISABLED
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+} // namespace tpre::obs
+
+#ifdef TPRE_OBS_DISABLED
+
+#define TPRE_OBS_COUNT(...) ((void)0)
+#define TPRE_OBS_GAUGE_ADD(...) ((void)0)
+#define TPRE_OBS_HIST(...) ((void)0)
+#define TPRE_TRACE_INSTANT(...) ((void)0)
+#define TPRE_TRACE_COMPLETE(...) ((void)0)
+#define TPRE_TRACE_COUNTER(...) ((void)0)
+#define TPRE_OBS_WALL_SPAN(cat, name) ((void)0)
+
+#else
+
+/** Bump counter @p name (a string literal) by n (default 1). */
+#define TPRE_OBS_COUNT(name, ...)                                   \
+    do {                                                            \
+        static ::tpre::obs::Counter tpreObsCounter_{name};          \
+        tpreObsCounter_.add(__VA_ARGS__);                           \
+    } while (0)
+
+/** Move gauge @p name by the signed @p delta. */
+#define TPRE_OBS_GAUGE_ADD(name, delta)                             \
+    do {                                                            \
+        static ::tpre::obs::Gauge tpreObsGauge_{name};              \
+        tpreObsGauge_.add(delta);                                   \
+    } while (0)
+
+/** Record @p value into histogram @p name (default bounds). */
+#define TPRE_OBS_HIST(name, value)                                  \
+    do {                                                            \
+        static ::tpre::obs::Histogram tpreObsHist_{name};           \
+        tpreObsHist_.record(value);                                 \
+    } while (0)
+
+/** Point event; (cat, name, domain, ts [, value]). */
+#define TPRE_TRACE_INSTANT(...) ::tpre::obs::traceInstant(__VA_ARGS__)
+
+/** Span event; (cat, name, domain, ts, dur [, value]). */
+#define TPRE_TRACE_COMPLETE(...)                                    \
+    ::tpre::obs::traceComplete(__VA_ARGS__)
+
+/** Counter-track sample; (cat, name, domain, ts, value). */
+#define TPRE_TRACE_COUNTER(...) ::tpre::obs::traceCounter(__VA_ARGS__)
+
+#define TPRE_OBS_CONCAT2_(a, b) a##b
+#define TPRE_OBS_CONCAT_(a, b) TPRE_OBS_CONCAT2_(a, b)
+
+/** Wall-clock span covering the rest of the enclosing scope. */
+#define TPRE_OBS_WALL_SPAN(cat, name)                               \
+    ::tpre::obs::WallSpan TPRE_OBS_CONCAT_(tpreObsSpan_,            \
+                                           __LINE__)(cat, name)
+
+#endif // TPRE_OBS_DISABLED
+
+#endif // TPRE_OBS_OBS_HH

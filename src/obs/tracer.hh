@@ -1,0 +1,194 @@
+/**
+ * @file
+ * tpre::obs cycle-event tracer: structured spans, instants and
+ * counter samples collected into per-thread ring buffers and
+ * exported as Chrome trace_event JSON (load the file in Perfetto
+ * or chrome://tracing). DESIGN.md section 11.
+ *
+ * Two timestamp domains share one file: wall-clock events
+ * (Domain::Wall, microseconds since process start — simulator
+ * phases, preprocessor passes, bench harness) and simulated-cycle
+ * events (Domain::Cycles — trace-cache misses, fill-unit builds,
+ * preconstruction regions). Each domain renders as its own
+ * Chrome "process" so the two clocks never share a track.
+ *
+ * Recording is off until setEnabled(true) (the bench harness's
+ * --trace-out flag, or TPRE_TRACE=1 in the environment); a
+ * disabled tracer costs one relaxed atomic load per call site.
+ * Each thread appends to its own fixed-capacity ring
+ * (TPRE_TRACE_BUF events, default 65536) guarded by a mutex that
+ * only contends during export; on overflow the oldest events are
+ * dropped and counted. Category and name strings must be string
+ * literals — the ring stores the pointers.
+ */
+
+#ifndef TPRE_OBS_TRACER_HH
+#define TPRE_OBS_TRACER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tpre::obs
+{
+
+/** Timestamp domain; doubles as the Chrome pid. */
+enum class Domain : std::uint32_t
+{
+    Wall = 1,    ///< microseconds since process start
+    Cycles = 2,  ///< simulated cycles
+};
+
+/** One recorded event (fixed size; strings are borrowed literals). */
+struct TraceEvent
+{
+    const char *cat = "";
+    const char *name = "";
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;    ///< 'X' events only
+    std::uint64_t value = 0;  ///< rendered as args.v
+    std::uint32_t tid = 0;
+    Domain domain = Domain::Wall;
+    char phase = 'i';  ///< 'X' complete, 'i' instant, 'C' counter
+};
+
+/** Microseconds of wall clock since the first call in the process. */
+std::uint64_t wallMicros();
+
+/** One thread's event ring; see threadRing(). */
+class EventRing
+{
+  public:
+    /** @param capacity Events held; 0 = the Tracer's capacity. */
+    explicit EventRing(std::size_t capacity = 0);
+    ~EventRing();
+    EventRing(const EventRing &) = delete;
+    EventRing &operator=(const EventRing &) = delete;
+
+    void push(const TraceEvent &event);
+
+    /** Stored events, oldest first. */
+    std::vector<TraceEvent> snapshotOrdered() const;
+    /** Events overwritten by wraparound. */
+    std::uint64_t dropped() const;
+    /** Events currently held (<= capacity). */
+    std::size_t size() const;
+    std::uint32_t tid() const { return tid_; }
+    void clear();
+
+  private:
+    friend class Tracer;
+
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> buf_;
+    std::size_t capacity_;
+    std::uint64_t head_ = 0;  ///< total events ever pushed
+    std::uint32_t tid_ = 0;   ///< assigned by Tracer::attachRing
+};
+
+/** The calling thread's ring (attached to the Tracer on first use). */
+EventRing &threadRing();
+
+/**
+ * Process-wide tracer (immortal): owns the enable flag, assigns
+ * thread ids, and renders every thread's events — including those
+ * of already-exited threads, which fold into a retired list — as
+ * one Chrome trace_event JSON document.
+ */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void setEnabled(bool on);
+
+    /** Per-thread ring capacity (TPRE_TRACE_BUF, default 65536). */
+    std::size_t ringCapacity() const { return capacity_; }
+
+    /** Events currently stored across all threads. */
+    std::uint64_t numEvents() const;
+
+    /** Events lost to ring wraparound across all threads. */
+    std::uint64_t droppedEvents() const;
+
+    /** Drop every stored event (tests). */
+    void clear();
+
+    /** Render all events as {"traceEvents": [...]} JSON. */
+    std::string renderChromeJson() const;
+
+    /** Write renderChromeJson() to @p path; false on I/O error. */
+    bool writeChromeJson(const std::string &path) const;
+
+    // --- ring lifecycle (EventRing ctor/dtor only) --------------
+    void attachRing(EventRing *ring);
+    void detachRing(EventRing *ring);
+
+  private:
+    Tracer();
+
+    std::atomic<bool> enabled_{false};
+    std::size_t capacity_;
+
+    mutable std::mutex mu_;
+    std::vector<EventRing *> rings_;
+    std::vector<TraceEvent> retired_;
+    std::uint64_t retiredDropped_ = 0;
+    std::uint32_t nextTid_ = 1;
+};
+
+// --- recording helpers (no-ops while the tracer is disabled) ----
+
+/** Point event ('i'); @p value lands in args.v. */
+void traceInstant(const char *cat, const char *name, Domain domain,
+                  std::uint64_t ts, std::uint64_t value = 0);
+
+/** Span with explicit start + duration ('X'). */
+void traceComplete(const char *cat, const char *name, Domain domain,
+                   std::uint64_t ts, std::uint64_t dur,
+                   std::uint64_t value = 0);
+
+/** Counter-track sample ('C'); renders as a value graph. */
+void traceCounter(const char *cat, const char *name, Domain domain,
+                  std::uint64_t ts, std::uint64_t value);
+
+/** RAII wall-clock span: records an 'X' event on destruction. */
+class WallSpan
+{
+  public:
+    WallSpan(const char *cat, const char *name)
+        : cat_(cat), name_(name),
+          active_(Tracer::instance().enabled()),
+          start_(active_ ? wallMicros() : 0)
+    {
+    }
+
+    ~WallSpan()
+    {
+        if (active_) {
+            traceComplete(cat_, name_, Domain::Wall, start_,
+                          wallMicros() - start_);
+        }
+    }
+
+    WallSpan(const WallSpan &) = delete;
+    WallSpan &operator=(const WallSpan &) = delete;
+
+  private:
+    const char *cat_;
+    const char *name_;
+    bool active_;
+    std::uint64_t start_;
+};
+
+} // namespace tpre::obs
+
+#endif // TPRE_OBS_TRACER_HH

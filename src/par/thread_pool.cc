@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/parse.hh"
+#include "obs/obs.hh"
 
 namespace tpre::par
 {
@@ -55,6 +56,8 @@ ThreadPool::submit(Task task)
             threads_.empty() ? 0 : nextQueue_++ % queues_.size();
         queues_[q].push_back(std::move(task));
     }
+    TPRE_OBS_COUNT("pool.tasks");
+    TPRE_OBS_GAUGE_ADD("pool.queue_depth", 1);
     cv_.notify_one();
 }
 
@@ -65,6 +68,7 @@ ThreadPool::take(std::size_t self, Task &out)
     if (!own.empty()) {
         out = std::move(own.back());
         own.pop_back();
+        TPRE_OBS_GAUGE_ADD("pool.queue_depth", -1);
         return true;
     }
     for (std::size_t k = 1; k < queues_.size(); ++k) {
@@ -73,6 +77,10 @@ ThreadPool::take(std::size_t self, Task &out)
         if (!victim.empty()) {
             out = std::move(victim.front());
             victim.pop_front();
+            TPRE_OBS_COUNT("pool.steals");
+            TPRE_OBS_GAUGE_ADD("pool.queue_depth", -1);
+            TPRE_TRACE_INSTANT("pool", "steal", obs::Domain::Wall,
+                               obs::wallMicros(), self);
             return true;
         }
     }
@@ -113,6 +121,7 @@ ThreadPool::drain()
             task = std::move(queues_[0].front());
             queues_[0].pop_front();
         }
+        TPRE_OBS_GAUGE_ADD("pool.queue_depth", -1);
         task();
     }
 }

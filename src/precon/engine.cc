@@ -5,6 +5,7 @@
 #include "check/check.hh"
 #include "check/invariants.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace tpre
 {
@@ -36,8 +37,11 @@ PreconstructionEngine::lookupBuffer(const TraceId &id)
                              *externalStore_)
                        : buffers_;
     const Trace *trace = store.lookup(id);
-    if (trace)
+    TPRE_OBS_COUNT("pb.probes");
+    if (trace) {
         ++stats_.bufferHits;
+        TPRE_OBS_COUNT("pb.hits");
+    }
     return trace;
 }
 
@@ -85,8 +89,13 @@ PreconstructionEngine::observeDispatch(const DynInst &dyn)
             return;
         }
     }
-    if (stack_.push(candidate, kind))
+    if (stack_.push(candidate, kind)) {
         ++stats_.startPointsPushed;
+        TPRE_OBS_COUNT("precon.start_points");
+        TPRE_OBS_HIST("precon.stack_depth", stack_.size());
+        TPRE_TRACE_COUNTER("precon", "stack_depth",
+                           obs::Domain::Cycles, now_, stack_.size());
+    }
 }
 
 void
@@ -105,6 +114,7 @@ PreconstructionEngine::emitTrace(Region &region, Trace trace)
 
     ++stats_.tracesConstructed;
     ++region.tracesEmitted;
+    TPRE_OBS_COUNT("precon.traces_constructed");
     // Avoid redundancy with the primary trace cache (Section 3.1).
     const bool in_primary = primaryProbe_
                                 ? primaryProbe_(trace.id)
@@ -125,6 +135,7 @@ PreconstructionEngine::emitTrace(Region &region, Trace trace)
     if (!store.insert(std::move(trace), region.seq()))
         return false;
     ++stats_.tracesBuffered;
+    TPRE_OBS_COUNT("precon.traces_buffered");
     if (diagLog_)
         bufferedLog_.push_back(id);
     return true;
@@ -199,6 +210,7 @@ PreconstructionEngine::issueFetch()
     const ICache::AccessResult res =
         icache_.fetchLine(chosen_line, true);
     ++stats_.linesFetched;
+    TPRE_OBS_COUNT("precon.lines_fetched");
     chosen->pendingFetches.push_back(
         {chosen_line, now_ + res.latency});
 }
@@ -243,6 +255,10 @@ PreconstructionEngine::retireRegions()
         if (region->state() != RegionState::Done || region->reaped)
             continue;
         region->reaped = true;
+        TPRE_TRACE_COMPLETE("precon", "region", obs::Domain::Cycles,
+                            region->obsStartCycle,
+                            now_ - region->obsStartCycle,
+                            region->tracesEmitted);
         for (auto &constructor : constructors_) {
             if (constructor.region() == region.get())
                 constructor.abandon();
@@ -287,7 +303,11 @@ PreconstructionEngine::startRegion()
         regions_.push_back(std::make_unique<Region>(
             nextRegionSeq_++, sp, config_.prefetchCacheInsts,
             config_.policy));
+        regions_.back()->obsStartCycle = now_;
         ++stats_.regionsStarted;
+        TPRE_OBS_COUNT("precon.regions_started");
+        TPRE_TRACE_INSTANT("precon", "region_start",
+                           obs::Domain::Cycles, now_, sp.addr);
     }
 }
 

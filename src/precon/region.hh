@@ -125,6 +125,9 @@ class Region
     /** Total traces emitted (warm or buffered). */
     unsigned tracesEmitted = 0;
 
+    /** Engine cycle when the region started (obs region span). */
+    Cycle obsStartCycle = 0;
+
   private:
     std::uint64_t seq_;
     StartPoint origin_;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace tpre
 {
@@ -37,6 +38,76 @@ u64(std::uint64_t v)
     std::snprintf(buf, sizeof(buf), "%llu",
                   static_cast<unsigned long long>(v));
     return buf;
+}
+
+std::string
+i64(std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return buf;
+}
+
+/**
+ * The aggregated tpre::obs registry as a JSON object: counters and
+ * gauges as name -> value maps, histograms with their bucket
+ * layout. Empty maps (e.g. under TPRE_OBS_DISABLED) still render,
+ * so consumers can rely on the keys existing.
+ */
+std::string
+renderObsSection()
+{
+    const std::vector<obs::MetricRow> rows =
+        obs::MetricsRegistry::instance().snapshot();
+
+    std::string counters, gauges, histograms;
+    for (const obs::MetricRow &row : rows) {
+        switch (row.kind) {
+          case obs::MetricKind::Counter:
+            if (!counters.empty())
+                counters += ", ";
+            counters += "\"" + jsonEscape(row.name) +
+                        "\": " + u64(static_cast<std::uint64_t>(
+                                    row.value));
+            break;
+          case obs::MetricKind::Gauge:
+            if (!gauges.empty())
+                gauges += ", ";
+            gauges += "\"" + jsonEscape(row.name) +
+                      "\": " + i64(row.value);
+            break;
+          case obs::MetricKind::Histogram: {
+            if (!histograms.empty())
+                histograms += ", ";
+            histograms += "\"" + jsonEscape(row.name) +
+                          "\": {\"count\": " + u64(row.hist.count) +
+                          ", \"sum\": " + u64(row.hist.sum) +
+                          ", \"bounds\": [";
+            for (std::size_t i = 0; i < row.hist.bounds.size(); ++i) {
+                histograms += i ? ", " : "";
+                histograms += u64(row.hist.bounds[i]);
+            }
+            histograms += "], \"buckets\": [";
+            for (std::size_t i = 0; i < row.hist.buckets.size();
+                 ++i) {
+                histograms += i ? ", " : "";
+                histograms += u64(row.hist.buckets[i]);
+            }
+            histograms += "]}";
+            break;
+          }
+        }
+    }
+
+    std::string out;
+    out += "{\n";
+    out += "    \"enabled\": " + boolWord(obs::kEnabled) + ",\n";
+    out += "    \"counters\": {" + counters + "},\n";
+    out += "    \"gauges\": {" + gauges + "},\n";
+    out += "    \"histograms\": {" + histograms + "}\n";
+    out += "  }";
+    return out;
 }
 
 } // namespace
@@ -116,6 +187,7 @@ BenchReport::render(double wallSeconds) const
                                 wallSeconds
                           : 0.0) +
            ",\n";
+    out += "  \"obs\": " + renderObsSection() + ",\n";
     out += "  \"rows\": [";
     for (std::size_t i = 0; i < rows_.size(); ++i) {
         const SimResult &r = rows_[i];

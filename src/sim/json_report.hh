@@ -13,6 +13,14 @@
  *     "simulated_instructions": <sum of row instruction counts>,
  *     "mips": <simulated_instructions / 1e6 / wall_seconds;
  *              aggregate across all jobs>,
+ *     "obs": {
+ *       "enabled": <tpre::obs compiled in?>,
+ *       "counters": {"<name>": N, ...},
+ *       "gauges": {"<name>": N, ...},
+ *       "histograms": {"<name>": {"count": N, "sum": N,
+ *                                 "bounds": [...],
+ *                                 "buckets": [...]}, ...}
+ *     },
  *     "rows": [
  *       {
  *         "benchmark": "...", "mode": "fast|timing",

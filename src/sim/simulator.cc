@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/obs.hh"
+
 namespace tpre
 {
 
@@ -21,6 +23,8 @@ Simulator::workload(const std::string &benchmark,
     // Generation happens outside the map lock: only demanders of
     // this exact workload serialize on the once_flag.
     std::call_once(entry->once, [&] {
+        TPRE_OBS_WALL_SPAN("workload", "generate");
+        TPRE_OBS_COUNT("workload.generated");
         WorkloadGenerator gen(specint95Profile(benchmark, seed));
         entry->workload = std::make_unique<GeneratedWorkload>(
             gen.generate());
@@ -37,6 +41,8 @@ Simulator::run(const SimConfig &config)
     SimResult result;
     result.config = config;
 
+    TPRE_OBS_WALL_SPAN("sim", "run");
+    TPRE_OBS_COUNT("sim.runs");
     const auto start = std::chrono::steady_clock::now();
 
     if (config.mode == SimMode::Fast) {
@@ -92,6 +98,7 @@ Simulator::run(const SimConfig &config)
         result.mips = static_cast<double>(result.instructions) /
                       1e6 / result.wallSeconds;
     }
+    TPRE_OBS_COUNT("sim.instructions", result.instructions);
     return result;
 }
 

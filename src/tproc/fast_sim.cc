@@ -6,6 +6,7 @@
 #include "check/invariants.hh"
 #include "check/stats_check.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace tpre
 {
@@ -86,6 +87,8 @@ FastSim::processTrace(const std::vector<DynInst> &window,
             ++stats_.pbHits;
     } else {
         ++stats_.tcMisses;
+        TPRE_TRACE_INSTANT("tcache", "miss", obs::Domain::Cycles,
+                           stats_.cycles, trace.len());
         if (config_.diagnostics) {
             if (first_seen)
                 ++stats_.missFirstSeen;
@@ -123,6 +126,8 @@ FastSim::processTrace(const std::vector<DynInst> &window,
         if (cur_line != invalidAddr && line_missed)
             stats_.slowPathInstsFromMisses += insts_on_line;
         stats_.slowPathInsts += trace.len();
+        TPRE_TRACE_COMPLETE("fill", "slow_build", obs::Domain::Cycles,
+                            stats_.cycles, trace_cycles, trace.len());
 
         // Last use of the segmented trace: donate it to the cache
         // instead of copying.

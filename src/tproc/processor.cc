@@ -6,6 +6,7 @@
 #include "check/invariants.hh"
 #include "check/stats_check.hh"
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace tpre
 {
@@ -155,6 +156,8 @@ TraceProcessor::doLookup()
             ++stats_.tcHits;
     } else {
         ++stats_.tcMisses;
+        TPRE_TRACE_INSTANT("tcache", "miss", obs::Domain::Cycles,
+                           now_, front.trace.len());
     }
 
     const bool knows_target =
@@ -253,6 +256,8 @@ TraceProcessor::dispatchFront()
         predValidForFront_ = true;
     } else {
         ++stats_.ntpWrong;
+        TPRE_TRACE_INSTANT("ntp", "mispredict", obs::Domain::Cycles,
+                           now_);
         if (pred.startPc == next_id.startPc &&
             fetchState_ != FetchState::WaitResolve) {
             // Outcome mismatch: the shared prefix dispatches; the

@@ -10,6 +10,7 @@ FillUnit::FillUnit(SelectionPolicy policy) : builder_(policy)
 void
 FillUnit::squash()
 {
+    TPRE_OBS_COUNT("fill.squashes");
     builder_.abandon();
 }
 
@@ -20,6 +21,7 @@ FillUnit::flush()
         builder_.abandon();
         return std::nullopt;
     }
+    TPRE_OBS_COUNT("fill.flushes");
     return builder_.take();
 }
 

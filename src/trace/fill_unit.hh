@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "func/core.hh"
+#include "obs/obs.hh"
 #include "trace/selector.hh"
 
 namespace tpre
@@ -34,6 +35,7 @@ class FillUnit
     std::optional<Trace>
     feed(const DynInst &dyn)
     {
+        TPRE_OBS_COUNT("fill.insts");
         if (!builder_.active())
             builder_.begin(dyn.pc);
 
@@ -41,6 +43,7 @@ class FillUnit
             builder_.append(dyn.inst, dyn.pc, dyn.taken, dyn.nextPc);
         if (!done)
             return std::nullopt;
+        TPRE_OBS_COUNT("fill.traces");
         return builder_.take();
     }
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace tpre
 {
@@ -51,9 +52,11 @@ TraceCache::findEntry(const TraceId &id) const
 const Trace *
 TraceCache::lookup(const TraceId &id)
 {
+    TPRE_OBS_COUNT("tcache.probes");
     Entry *entry = findEntry(id);
     if (!entry)
         return nullptr;
+    TPRE_OBS_COUNT("tcache.hits");
     entry->lastUse = tick();
     return &entry->trace;
 }
@@ -82,6 +85,7 @@ const Trace *
 TraceCache::insert(Trace trace)
 {
     tpre_assert(trace.id.valid(), "inserting invalid trace");
+    TPRE_OBS_COUNT("tcache.fills");
     // Refresh in place when the identical trace is already present.
     if (Entry *existing = findEntry(trace.id)) {
         existing->trace = std::move(trace);
@@ -89,6 +93,8 @@ TraceCache::insert(Trace trace)
         return &existing->trace;
     }
     Entry &victim = victimIn(setOf(trace.id));
+    if (victim.valid)
+        TPRE_OBS_COUNT("tcache.evictions");
     victim.valid = true;
     victim.trace = std::move(trace);
     victim.lastUse = tick();

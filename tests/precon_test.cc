@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "isa/builder.hh"
@@ -94,6 +95,107 @@ TEST(StartPointStackTest, CompletedMemoryIsBounded)
     EXPECT_FALSE(st.push(0x300, StartPointKind::CallReturn));
 }
 
+TEST(StartPointStackTest, FilteredPushAtMaxDepthKeepsOldest)
+{
+    // A rejected duplicate must not cost the oldest entry: the
+    // redundancy filters run before the overflow discard.
+    StartPointStack st(3, 0);
+    st.push(0x100, StartPointKind::CallReturn);
+    st.push(0x200, StartPointKind::CallReturn);
+    st.push(0x300, StartPointKind::CallReturn);
+    EXPECT_FALSE(st.push(0x200, StartPointKind::CallReturn));
+    EXPECT_EQ(st.size(), 3u);
+    EXPECT_TRUE(st.contains(0x100));
+}
+
+TEST(StartPointStackTest, SustainedOverflowKeepsNewestWindow)
+{
+    StartPointStack st(4, 0);
+    for (Addr a = 1; a <= 8; ++a)
+        st.push(a * 0x10, StartPointKind::LoopExit);
+    EXPECT_EQ(st.size(), 4u);
+    // Newest-first pop order over the surviving window 5..8.
+    for (Addr a = 8; a >= 5; --a)
+        EXPECT_EQ(st.pop().addr, a * 0x10);
+    EXPECT_TRUE(st.empty());
+}
+
+TEST(StartPointStackTest, MispredictFlushEmptiesStack)
+{
+    // A deep misprediction squashes every start point the wrong
+    // path pushed; the flushed addresses are not remembered as
+    // completed, so the right path may push them again.
+    StartPointStack st(16, 4);
+    st.push(0x100, StartPointKind::CallReturn);
+    st.push(0x200, StartPointKind::LoopExit);
+    st.push(0x300, StartPointKind::CallReturn);
+    st.removeMisspeculated({0x300, 0x100, 0x200});
+    EXPECT_TRUE(st.empty());
+    EXPECT_TRUE(st.push(0x200, StartPointKind::LoopExit));
+}
+
+TEST(StartPointStackTest, MispredictFlushIgnoresAbsentAddrs)
+{
+    StartPointStack st(16, 4);
+    st.push(0x100, StartPointKind::CallReturn);
+    st.removeMisspeculated({});
+    st.removeMisspeculated({0x900, 0xA00});
+    EXPECT_EQ(st.size(), 1u);
+    EXPECT_TRUE(st.contains(0x100));
+}
+
+TEST(StartPointStackTest, RemoveReachedAbsentIsNoOp)
+{
+    StartPointStack st(16, 4);
+    st.push(0x100, StartPointKind::CallReturn);
+    st.removeReached(0x500);
+    EXPECT_EQ(st.size(), 1u);
+}
+
+TEST(StartPointStackTest, RecompletionRefreshesSlot)
+{
+    // Completing 0x100 again must move it to the newest completed
+    // slot so the next eviction takes 0x200 instead.
+    StartPointStack st(16, 2);
+    st.markCompleted(0x100);
+    st.markCompleted(0x200);
+    st.markCompleted(0x100);
+    st.markCompleted(0x300); // evicts 0x200, not 0x100
+    EXPECT_FALSE(st.push(0x100, StartPointKind::CallReturn));
+    EXPECT_TRUE(st.push(0x200, StartPointKind::CallReturn));
+}
+
+TEST(StartPointStackTest, DepthOneStackReplaces)
+{
+    StartPointStack st(1, 0);
+    EXPECT_TRUE(st.push(0x100, StartPointKind::CallReturn));
+    EXPECT_TRUE(st.push(0x200, StartPointKind::LoopExit));
+    EXPECT_EQ(st.size(), 1u);
+    EXPECT_EQ(st.top().addr, 0x200u);
+    EXPECT_EQ(st.top().kind, StartPointKind::LoopExit);
+}
+
+TEST(StartPointStackTest, TopPeeksWithoutRemoving)
+{
+    StartPointStack st(16, 4);
+    st.push(0x100, StartPointKind::CallReturn);
+    st.push(0x200, StartPointKind::LoopExit);
+    EXPECT_EQ(st.top().addr, 0x200u);
+    EXPECT_EQ(st.size(), 2u);
+    EXPECT_EQ(st.pop().addr, 0x200u);
+}
+
+TEST(StartPointStackTest, ClearForgetsCompletedRegions)
+{
+    StartPointStack st(16, 4);
+    st.push(0x100, StartPointKind::CallReturn);
+    st.markCompleted(0x200);
+    st.clear();
+    EXPECT_TRUE(st.empty());
+    EXPECT_FALSE(st.completedRecently(0x200));
+    EXPECT_TRUE(st.push(0x200, StartPointKind::CallReturn));
+}
+
 // ---------------------------------------------------------------
 // PreconstructionBuffers.
 // ---------------------------------------------------------------
@@ -159,6 +261,79 @@ TEST(PreconBuffersTest, SizingMatchesPaper)
     EXPECT_EQ(pb.sizeBytes(), 2u * 1024);
     PreconstructionBuffers big(256);
     EXPECT_EQ(big.sizeBytes(), 16u * 1024);
+}
+
+TEST(PreconBuffersTest, MissAndAbsentInvalidate)
+{
+    PreconstructionBuffers pb(32);
+    EXPECT_EQ(pb.lookup({0x1000, 0, 0}), nullptr);
+    EXPECT_FALSE(pb.contains({0x1000, 0, 0}));
+    EXPECT_FALSE(pb.invalidate({0x1000, 0, 0}));
+    pb.insert(simpleTrace(0x1000), 1);
+    // Same start, different branch outcomes: a distinct trace id.
+    EXPECT_EQ(pb.lookup({0x1000, 0x1, 1}), nullptr);
+}
+
+TEST(PreconBuffersTest, InvalidateFreesWayForRefusedInsert)
+{
+    // Both ways held by region 7: region 7 (equal seq) is refused,
+    // but once the consumer drains one entry the insert lands in
+    // the freed way.
+    PreconstructionBuffers pb(2, 2);
+    EXPECT_TRUE(pb.insert(simpleTrace(0x1000), 7));
+    EXPECT_TRUE(pb.insert(simpleTrace(0x2000), 7));
+    EXPECT_FALSE(pb.insert(simpleTrace(0x3000), 7));
+    EXPECT_TRUE(pb.invalidate({0x1000, 0, 0}));
+    EXPECT_TRUE(pb.insert(simpleTrace(0x3000), 7));
+    EXPECT_EQ(pb.numValid(), 2u);
+    EXPECT_TRUE(pb.contains({0x2000, 0, 0}));
+    EXPECT_TRUE(pb.contains({0x3000, 0, 0}));
+}
+
+TEST(PreconBuffersTest, ForEachValidVisitsEveryEntryOnce)
+{
+    PreconstructionBuffers pb(2, 2);
+    pb.insert(simpleTrace(0x1000), 3);
+    pb.insert(simpleTrace(0x2000), 4);
+    std::map<Addr, std::uint64_t> seen;
+    std::size_t visits = 0;
+    pb.forEachValid([&](const Trace &t, std::uint64_t seq) {
+        ++visits;
+        seen[t.id.startPc] = seq;
+    });
+    EXPECT_EQ(visits, 2u);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0x1000], 3u);
+    EXPECT_EQ(seen[0x2000], 4u);
+}
+
+TEST(PreconBuffersTest, RefreshReplacesTraceContents)
+{
+    PreconstructionBuffers pb(32);
+    pb.insert(simpleTrace(0x1000), 1);
+    Trace longer = simpleTrace(0x1000);
+    Instruction alu;
+    alu.op = Opcode::Add;
+    alu.rd = 2;
+    longer.insts.push_back({0x1004, alu, false, 0});
+    longer.fallThrough = 0x1008;
+    EXPECT_TRUE(pb.insert(longer, 2));
+    const Trace *hit = pb.lookup({0x1000, 0, 0});
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->len(), 2u);
+    EXPECT_EQ(hit->fallThrough, 0x1008u);
+}
+
+TEST(PreconBuffersTest, ClearResetsPriorities)
+{
+    PreconstructionBuffers pb(2, 2);
+    pb.insert(simpleTrace(0x1000), 9);
+    pb.insert(simpleTrace(0x2000), 9);
+    pb.clear();
+    EXPECT_EQ(pb.numValid(), 0u);
+    // With priorities reset, even the lowest region seq may insert.
+    EXPECT_TRUE(pb.insert(simpleTrace(0x3000), 1));
+    EXPECT_EQ(pb.numValid(), 1u);
 }
 
 // ---------------------------------------------------------------

@@ -13,56 +13,97 @@ Usage:
     perf_gate.py <BENCH_report.json> [--baseline bench/BASELINE.json]
                  [--tolerance 2.0]
 
-Exit status: 0 when the report passes (or has no baseline entry,
-with a notice), 1 on a regression or malformed report.
+Exit status: 0 when the report passes (or names a new benchmark with
+no baseline entry yet, with a warning), 1 on a regression or a
+malformed report/baseline.
+
+The decision logic lives in evaluate(), a pure function over the two
+parsed JSON documents; tools/test_perf_gate.py pins its behaviour.
 """
 
 import argparse
 import json
 import sys
 
+REQUIRED_REPORT_FIELDS = ("bench", "mips", "simulated_instructions",
+                          "wall_seconds")
 
-def main() -> int:
+
+def evaluate(report, baseline, tolerance=2.0):
+    """Judge one bench report against the baseline table.
+
+    Returns (exit_code, message): exit_code 0 for pass/skip, 1 for a
+    regression or malformed input. Never raises on malformed data —
+    every defect maps to a code-1 message naming the problem.
+    """
+    if not isinstance(report, dict):
+        return 1, "perf gate: report is not a JSON object"
+    if not isinstance(baseline, dict):
+        return 1, "perf gate: baseline is not a JSON object"
+
+    for field in REQUIRED_REPORT_FIELDS:
+        if field not in report:
+            return 1, (f"perf gate: report lacks required field "
+                       f"'{field}'")
+
+    name = report["bench"]
+    mips = report["mips"]
+    if isinstance(mips, bool) or not isinstance(mips, (int, float)) \
+            or mips <= 0:
+        return 1, (f"perf gate: report has non-positive mips "
+                   f"{mips!r}")
+
+    if name not in baseline:
+        return 0, (f"perf gate: new benchmark '{name}' has no "
+                   f"baseline entry; skipping comparison (commit a "
+                   f"reference MIPS to enable the gate)")
+
+    entry = baseline[name]
+    if not isinstance(entry, dict) or "mips" not in entry:
+        return 1, (f"perf gate: baseline entry for '{name}' lacks "
+                   f"'mips'")
+    try:
+        ref = float(entry["mips"])
+    except (TypeError, ValueError):
+        return 1, (f"perf gate: baseline entry for '{name}' has "
+                   f"non-numeric mips {entry['mips']!r}")
+    if ref <= 0:
+        return 1, (f"perf gate: baseline entry for '{name}' has "
+                   f"non-positive mips {ref!r}")
+
+    floor = ref / tolerance
+    verdict = "PASS" if mips >= floor else "FAIL"
+    message = (f"perf gate [{verdict}]: {name} at {mips:.2f} MIPS, "
+               f"baseline {ref:.2f}, floor {floor:.2f} "
+               f"(tolerance {tolerance:g}x)")
+    return (0 if mips >= floor else 1), message
+
+
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("report", help="BENCH_<name>.json to check")
     parser.add_argument("--baseline", default="bench/BASELINE.json",
                         help="committed reference MIPS file")
     parser.add_argument("--tolerance", type=float, default=2.0,
                         help="maximum allowed slowdown factor")
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
-    with open(args.report) as f:
-        report = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-
-    for field in ("bench", "mips", "simulated_instructions",
-                  "wall_seconds"):
-        if field not in report:
-            print(f"perf gate: report {args.report} lacks required "
-                  f"field '{field}'")
-            return 1
-
-    name = report["bench"]
-    mips = report["mips"]
-    if not isinstance(mips, (int, float)) or mips <= 0:
-        print(f"perf gate: report {args.report} has non-positive "
-              f"mips {mips!r}")
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf gate: cannot read report {args.report}: {e}")
+        return 1
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf gate: cannot read baseline {args.baseline}: {e}")
         return 1
 
-    entry = baseline.get(name)
-    if entry is None:
-        print(f"perf gate: no baseline entry for '{name}'; "
-              f"nothing to compare (add one to {args.baseline})")
-        return 0
-
-    ref = float(entry["mips"])
-    floor = ref / args.tolerance
-    verdict = "PASS" if mips >= floor else "FAIL"
-    print(f"perf gate [{verdict}]: {name} at {mips:.2f} MIPS, "
-          f"baseline {ref:.2f}, floor {floor:.2f} "
-          f"(tolerance {args.tolerance:g}x)")
-    return 0 if mips >= floor else 1
+    code, message = evaluate(report, baseline, args.tolerance)
+    print(message)
+    return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/perf_gate.py.
+
+Written pytest-style (plain test_* functions with asserts) but
+self-hosting: `python3 tools/test_perf_gate.py` runs every test and
+exits non-zero on the first failure, so the suite needs no third-
+party test runner. CI registers it as a ctest (see
+tools/CMakeLists.txt); `pytest tools/test_perf_gate.py` also works
+where pytest is installed.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import traceback
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from perf_gate import evaluate, main  # noqa: E402
+
+
+def good_report(name="fig5", mips=10.0):
+    return {
+        "bench": name,
+        "mips": mips,
+        "simulated_instructions": 1000000,
+        "wall_seconds": 0.1,
+    }
+
+
+def baseline_with(name="fig5", mips=10.0):
+    return {name: {"mips": mips}}
+
+
+# --- pass/fail around the tolerance floor -----------------------
+
+def test_pass_at_baseline():
+    code, msg = evaluate(good_report(mips=10.0), baseline_with())
+    assert code == 0
+    assert "[PASS]" in msg
+
+
+def test_pass_exactly_at_floor():
+    # tolerance 2x of a 10 MIPS baseline: the floor itself passes.
+    code, msg = evaluate(good_report(mips=5.0), baseline_with())
+    assert code == 0, msg
+    assert "[PASS]" in msg
+
+
+def test_fail_below_floor():
+    code, msg = evaluate(good_report(mips=4.99), baseline_with())
+    assert code == 1
+    assert "[FAIL]" in msg
+    assert "floor 5.00" in msg
+
+
+def test_custom_tolerance():
+    code, _ = evaluate(good_report(mips=4.0), baseline_with(),
+                       tolerance=3.0)
+    assert code == 0
+    code, _ = evaluate(good_report(mips=3.0), baseline_with(),
+                       tolerance=3.0)
+    assert code == 1
+
+
+# --- new benchmark: warn and skip -------------------------------
+
+def test_new_benchmark_skips_with_warning():
+    code, msg = evaluate(good_report(name="fig9"), baseline_with())
+    assert code == 0
+    assert "new benchmark 'fig9'" in msg
+    assert "no baseline" in msg
+
+
+# --- malformed inputs never raise -------------------------------
+
+def test_baseline_entry_without_mips_is_an_error():
+    # Regression test: this used to die with a bare KeyError.
+    baseline = {"fig5": {"note": "mips got lost"}}
+    code, msg = evaluate(good_report(), baseline)
+    assert code == 1
+    assert "lacks 'mips'" in msg
+
+
+def test_baseline_entry_not_a_dict():
+    code, msg = evaluate(good_report(), {"fig5": 10.0})
+    assert code == 1
+    assert "lacks 'mips'" in msg
+
+
+def test_baseline_entry_non_numeric_mips():
+    code, msg = evaluate(good_report(), {"fig5": {"mips": "fast"}})
+    assert code == 1
+    assert "non-numeric" in msg
+
+
+def test_baseline_entry_non_positive_mips():
+    code, msg = evaluate(good_report(), {"fig5": {"mips": 0}})
+    assert code == 1
+    assert "non-positive" in msg
+
+
+def test_report_missing_fields():
+    for field in ("bench", "mips", "simulated_instructions",
+                  "wall_seconds"):
+        report = good_report()
+        del report[field]
+        code, msg = evaluate(report, baseline_with())
+        assert code == 1
+        assert field in msg
+
+
+def test_report_bad_mips_values():
+    for bad in (0, -1.0, "10", None, True):
+        code, msg = evaluate(good_report(mips=bad), baseline_with())
+        assert code == 1, f"mips={bad!r} accepted: {msg}"
+
+
+def test_non_object_documents():
+    assert evaluate([], baseline_with())[0] == 1
+    assert evaluate(good_report(), [])[0] == 1
+
+
+# --- CLI wrapper ------------------------------------------------
+
+def test_main_reads_files_and_gates(tmpdir=None):
+    with tempfile.TemporaryDirectory() as d:
+        report_path = os.path.join(d, "BENCH_fig5.json")
+        baseline_path = os.path.join(d, "BASELINE.json")
+        with open(report_path, "w") as f:
+            json.dump(good_report(mips=9.0), f)
+        with open(baseline_path, "w") as f:
+            json.dump(baseline_with(mips=10.0), f)
+        assert main([report_path, "--baseline", baseline_path]) == 0
+        assert main([report_path, "--baseline", baseline_path,
+                     "--tolerance", "1.05"]) == 1
+
+
+def test_main_unreadable_inputs():
+    with tempfile.TemporaryDirectory() as d:
+        missing = os.path.join(d, "nope.json")
+        garbage = os.path.join(d, "garbage.json")
+        with open(garbage, "w") as f:
+            f.write("{not json")
+        ok = os.path.join(d, "ok.json")
+        with open(ok, "w") as f:
+            json.dump(good_report(), f)
+        assert main([missing, "--baseline", ok]) == 1
+        assert main([garbage, "--baseline", ok]) == 1
+        assert main([ok, "--baseline", missing]) == 1
+
+
+def test_cli_process_exit_status():
+    # End to end through the interpreter, as CI invokes it.
+    script = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "perf_gate.py")
+    with tempfile.TemporaryDirectory() as d:
+        report_path = os.path.join(d, "BENCH_fig5.json")
+        baseline_path = os.path.join(d, "BASELINE.json")
+        with open(report_path, "w") as f:
+            json.dump(good_report(mips=1.0), f)
+        with open(baseline_path, "w") as f:
+            json.dump(baseline_with(mips=10.0), f)
+        proc = subprocess.run(
+            [sys.executable, script, report_path,
+             "--baseline", baseline_path],
+            capture_output=True, text=True)
+        assert proc.returncode == 1, proc.stdout
+        assert "[FAIL]" in proc.stdout
+
+
+def _run_all():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except Exception:
+            failed += 1
+            print(f"FAIL {name}")
+            traceback.print_exc()
+    print(f"{len(tests) - failed}/{len(tests)} perf_gate tests passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(_run_all())
