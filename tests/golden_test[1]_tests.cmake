@@ -1,0 +1,3 @@
+add_test([=[GoldenTest.Fig5GridBitIdenticalToPreOverhaulCapture]=]  /root/repo/tests/golden_test [==[--gtest_filter=GoldenTest.Fig5GridBitIdenticalToPreOverhaulCapture]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[GoldenTest.Fig5GridBitIdenticalToPreOverhaulCapture]=]  PROPERTIES WORKING_DIRECTORY /root/repo/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  golden_test_TESTS GoldenTest.Fig5GridBitIdenticalToPreOverhaulCapture)
