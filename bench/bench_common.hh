@@ -24,6 +24,9 @@
 #include "sim/report.hh"
 #include "sim/simulator.hh"
 #include "sim/sweep.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/heartbeat.hh"
+#include "telemetry/server.hh"
 
 namespace tpre::bench
 {
@@ -73,11 +76,16 @@ verified(const SimResult &r)
 
 /**
  * Per-binary harness: parses --jobs N (or TPRE_JOBS, or all
- * hardware threads by default) and --trace-out FILE (enable the
+ * hardware threads by default), --trace-out FILE (enable the
  * tpre::obs tracer and export Chrome trace_event JSON on finish —
- * open the file in Perfetto), times the run, collects verified
- * result rows, and writes BENCH_<name>.json on finish(). Intended
- * use:
+ * open the file in Perfetto) and --telemetry-port N (or
+ * TPRE_TELEMETRY_PORT: serve /metrics, /healthz and /runs on
+ * 127.0.0.1:N for the duration of the run; port 0 picks an
+ * ephemeral port). TPRE_HEARTBEAT_SECS=N publishes a progress
+ * heartbeat every N seconds, and the crash flight recorder is
+ * always installed (opt out with TPRE_FLIGHT_RECORDER=0). Times
+ * the run, collects verified result rows, and writes
+ * BENCH_<name>.json on finish(). Intended use:
  *
  *   int main(int argc, char **argv) {
  *       bench::Harness harness("fig5_miss_rates", argc, argv);
@@ -98,6 +106,13 @@ class Harness
     {
         if (!opts_.traceOut.empty())
             obs::Tracer::instance().setEnabled(true);
+        telemetry::installFlightRecorder(name);
+        if (opts_.telemetryPort >= 0)
+            telemetry_.start(
+                static_cast<std::uint16_t>(opts_.telemetryPort));
+        if (const char *env = std::getenv("TPRE_HEARTBEAT_SECS"))
+            heartbeat_.start(static_cast<unsigned>(
+                parsePositiveInt(env, "TPRE_HEARTBEAT_SECS")));
         benchStart_ = obs::wallMicros();
         TPRE_TRACE_INSTANT("bench", name, obs::Domain::Wall,
                            benchStart_);
@@ -109,12 +124,16 @@ class Harness
     /** Chrome-trace output path ("" when --trace-out not given). */
     const std::string &traceOut() const { return opts_.traceOut; }
 
-    /** SweepOptions preset with this run's job count. */
+    /** The live telemetry endpoint's port (0 when disabled). */
+    std::uint16_t telemetryPort() const { return telemetry_.port(); }
+
+    /** SweepOptions preset with this run's job count and name. */
     par::SweepOptions
     sweepOptions() const
     {
         par::SweepOptions opts;
         opts.jobs = opts_.jobs;
+        opts.name = report_.name().c_str();
         return opts;
     }
 
@@ -131,6 +150,8 @@ class Harness
     int
     finish()
     {
+        heartbeat_.stop();
+        telemetry_.stop();
         const double wall =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - start_)
@@ -173,7 +194,22 @@ class Harness
     {
         unsigned jobs = 1;
         std::string traceOut;
+        /** Telemetry port; -1 = disabled, 0 = ephemeral. */
+        int telemetryPort = -1;
     };
+
+    /** Parse a TCP port: 0 (ephemeral) .. 65535. */
+    static int
+    parsePort(const char *text, const char *what)
+    {
+        if (text && text[0] == '0' && text[1] == '\0')
+            return 0;
+        const std::int64_t v = parsePositiveInt(text, what);
+        if (v > 65535)
+            fatal("%s: %lld is not a valid TCP port", what,
+                  static_cast<long long>(v));
+        return static_cast<int>(v);
+    }
 
     static Options
     parseCommandLine(int argc, char **argv)
@@ -196,11 +232,26 @@ class Harness
                 opts.traceOut = arg.substr(12);
                 if (opts.traceOut.empty())
                     fatal("--trace-out needs a file path");
+            } else if (arg == "--telemetry-port") {
+                if (i + 1 >= argc)
+                    fatal("--telemetry-port needs a value");
+                opts.telemetryPort =
+                    parsePort(argv[++i], "--telemetry-port");
+            } else if (arg.rfind("--telemetry-port=", 0) == 0) {
+                opts.telemetryPort =
+                    parsePort(arg.c_str() + 17, "--telemetry-port");
             } else {
                 fatal("unknown option '%s' (supported: --jobs N, "
-                      "--trace-out FILE; budget via TPRE_INSTS)",
+                      "--trace-out FILE, --telemetry-port N; "
+                      "budget via TPRE_INSTS)",
                       arg.c_str());
             }
+        }
+        if (opts.telemetryPort < 0) {
+            if (const char *env =
+                    std::getenv("TPRE_TELEMETRY_PORT"))
+                opts.telemetryPort =
+                    parsePort(env, "TPRE_TELEMETRY_PORT");
         }
         return opts;
     }
@@ -208,6 +259,8 @@ class Harness
     std::chrono::steady_clock::time_point start_;
     Options opts_;
     BenchReport report_;
+    telemetry::TelemetryServer telemetry_;
+    telemetry::Heartbeat heartbeat_;
     /** obs::wallMicros() at harness construction (bench span). */
     std::uint64_t benchStart_ = 0;
     /** Total simulated instructions across recorded rows. */

@@ -249,6 +249,12 @@ diffModels(const Program &program, const DiffConfig &cfg)
             result.failure = f;
             return result;
         }
+        if (auto f = prefixed("fastsim",
+                              provenanceReconcilesFast(
+                                  stats, sim.traceCache()))) {
+            result.failure = f;
+            return result;
+        }
         if (obs.served) {
             result.failure = prefixed("fastsim", obs.served);
             return result;
@@ -298,6 +304,12 @@ diffModels(const Program &program, const DiffConfig &cfg)
 
         if (auto f = prefixed("processor",
                               obsReconcilesTiming(delta, stats))) {
+            result.failure = f;
+            return result;
+        }
+        if (auto f = prefixed("processor",
+                              provenanceReconcilesTiming(
+                                  stats, proc.traceCache()))) {
             result.failure = f;
             return result;
         }

@@ -440,7 +440,8 @@ runFuzz(const FuzzOptions &opts)
                                         opts.maxInsts);
                 results[i] =
                     diffModels(cases[i].program(), cases[i].diff);
-            });
+            },
+            "check_fuzz");
         for (std::uint64_t i = 0; i < count; ++i)
             if (!processCase(std::move(cases[i]), results[i]))
                 return report;

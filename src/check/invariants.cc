@@ -539,4 +539,107 @@ obsReconcilesTiming(const ObsCounters &d, const ProcessorStats &stats)
     return obsPreconReconciles(d, stats.precon, stats.pbHits);
 }
 
+namespace
+{
+
+/** One exact equality of the provenance contract. */
+Violation
+provEq(const char *what, std::uint64_t provValue,
+       std::uint64_t statsValue)
+{
+    if (provValue == statsValue)
+        return std::nullopt;
+    return Msg() << "provenance-reconcile: " << what
+                 << ": ledger says " << provValue
+                 << " but stats say " << statsValue;
+}
+
+} // namespace
+
+Violation
+provenanceReconciles(const ProvenanceTable &prov,
+                     std::uint64_t tcHits, std::uint64_t pbHits,
+                     std::uint64_t tcMisses,
+                     std::uint64_t residentValid)
+{
+    const OriginProvenance &fill = prov.of(TraceOrigin::FillUnit);
+    const OriginProvenance &pre = prov.of(TraceOrigin::Precon);
+
+    if (auto v = provEq("fill builds vs tcMisses", fill.builds,
+                        tcMisses)) {
+        return v;
+    }
+    if (auto v = provEq("precon builds vs pbHits", pre.builds,
+                        pbHits)) {
+        return v;
+    }
+    if (auto v = provEq("per-origin hits vs tcHits + pbHits",
+                        fill.hits + pre.hits, tcHits + pbHits)) {
+        return v;
+    }
+    // A promoted line serves the fetch that promoted it, so every
+    // precon build is used immediately and none can die unused.
+    if (auto v = provEq("precon firstUses vs precon builds",
+                        pre.firstUses, pre.builds)) {
+        return v;
+    }
+    if (auto v = provEq("precon evictedUnused", pre.evictedUnused,
+                        0)) {
+        return v;
+    }
+    if (auto v = provEq("resident lines vs valid entries",
+                        prov.resident(), residentValid)) {
+        return v;
+    }
+    for (std::size_t i = 0; i < kNumOrigins; ++i) {
+        const OriginProvenance &o = prov.origins[i];
+        const char *name =
+            traceOriginName(static_cast<TraceOrigin>(i));
+        if (o.firstUses > o.builds) {
+            return Msg() << "provenance-reconcile: " << name
+                         << " firstUses " << o.firstUses
+                         << " exceeds builds " << o.builds;
+        }
+        if (o.firstUses > o.hits) {
+            return Msg() << "provenance-reconcile: " << name
+                         << " firstUses " << o.firstUses
+                         << " exceeds hits " << o.hits;
+        }
+        if (o.evictions() > o.builds) {
+            return Msg() << "provenance-reconcile: " << name
+                         << " evictions " << o.evictions()
+                         << " exceed builds " << o.builds;
+        }
+    }
+    return std::nullopt;
+}
+
+Violation
+provenanceReconcilesFast(const FastSimStats &stats,
+                         const TraceCache &cache)
+{
+    if (auto v = provEq("stats table builds vs cache table builds",
+                        stats.provenance.totalBuilds(),
+                        cache.provenance().totalBuilds())) {
+        return v;
+    }
+    return provenanceReconciles(cache.provenance(), stats.tcHits,
+                                stats.pbHits, stats.tcMisses,
+                                cache.numValid());
+}
+
+Violation
+provenanceReconcilesTiming(const ProcessorStats &stats,
+                           const TraceCache &cache)
+{
+    if (auto v = provEq("stats table builds vs cache table builds",
+                        stats.provenance.totalBuilds(),
+                        cache.provenance().totalBuilds())) {
+        return v;
+    }
+    return provenanceReconciles(cache.provenance(), stats.tcHits,
+                                stats.pbHits, stats.tcMisses,
+                                cache.numValid());
+}
+
 } // namespace tpre::check

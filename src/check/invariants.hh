@@ -31,6 +31,7 @@ namespace tpre
 {
 struct FastSimStats;
 struct ProcessorStats;
+class TraceCache;
 } // namespace tpre
 
 namespace tpre::check
@@ -158,6 +159,37 @@ Violation obsReconcilesFast(const ObsCounters &delta,
  */
 Violation obsReconcilesTiming(const ObsCounters &delta,
                               const ProcessorStats &stats);
+
+/**
+ * The trace-provenance contract: the per-origin ledger a run's
+ * TraceCache accumulated must reconcile *exactly* with the run's
+ * counters, in both simulation modes —
+ *
+ *   fill builds   == tcMisses   (one demand fill per miss)
+ *   precon builds == pbHits     (one promotion per buffer hit)
+ *   hits (summed) == tcHits + pbHits
+ *   precon lines are used at promotion: firstUses == builds and
+ *   none is ever evicted unused
+ *   builds - evictions == lines still valid in the cache
+ *
+ * plus per-origin structural sanity (firstUses <= builds,
+ * firstUses <= hits, evictions <= builds). Unlike the obs
+ * contract, provenance is plain stats bookkeeping, so this holds
+ * under TPRE_OBS_DISABLED too.
+ */
+Violation provenanceReconciles(const ProvenanceTable &prov,
+                               std::uint64_t tcHits,
+                               std::uint64_t pbHits,
+                               std::uint64_t tcMisses,
+                               std::uint64_t residentValid);
+
+/** provenanceReconciles() over a finished FastSim run. */
+Violation provenanceReconcilesFast(const FastSimStats &stats,
+                                   const TraceCache &cache);
+
+/** provenanceReconciles() over a finished TraceProcessor run. */
+Violation provenanceReconcilesTiming(const ProcessorStats &stats,
+                                     const TraceCache &cache);
 
 } // namespace tpre::check
 

@@ -1,7 +1,10 @@
 #include "common/logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <utility>
 
@@ -25,11 +28,126 @@ logMutex()
 
 thread_local std::string tLogTag;
 
-void
-vreport(const char *tag, const char *fmt, va_list args)
+/**
+ * Microseconds since the first log-clock read (monotonic). Kept
+ * independent of obs::wallMicros so the logger has no dependency
+ * on the observability layer's lifetime.
+ */
+std::uint64_t
+logMicros()
 {
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point anchor = clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            clock::now() - anchor)
+            .count());
+}
+
+/**
+ * TPRE_LOG / TPRE_LOG_LEVEL, parsed strictly once. Bad values
+ * report with a bare fprintf and exit — fatal() would re-enter
+ * this initialization.
+ */
+struct LogConfig
+{
+    std::atomic<int> format{static_cast<int>(LogFormat::Text)};
+    std::atomic<int> level{static_cast<int>(LogLevel::Info)};
+
+    LogConfig()
+    {
+        if (const char *env = std::getenv("TPRE_LOG")) {
+            if (!std::strcmp(env, "json")) {
+                format = static_cast<int>(LogFormat::Json);
+            } else if (std::strcmp(env, "text")) {
+                std::fprintf(stderr,
+                             "fatal: TPRE_LOG must be 'json' or "
+                             "'text', got '%s'\n",
+                             env);
+                std::exit(1);
+            }
+        }
+        if (const char *env = std::getenv("TPRE_LOG_LEVEL")) {
+            if (!std::strcmp(env, "debug")) {
+                level = static_cast<int>(LogLevel::Debug);
+            } else if (!std::strcmp(env, "info")) {
+                level = static_cast<int>(LogLevel::Info);
+            } else if (!std::strcmp(env, "warn")) {
+                level = static_cast<int>(LogLevel::Warn);
+            } else if (!std::strcmp(env, "error")) {
+                level = static_cast<int>(LogLevel::Error);
+            } else {
+                std::fprintf(stderr,
+                             "fatal: TPRE_LOG_LEVEL must be debug, "
+                             "info, warn or error, got '%s'\n",
+                             env);
+                std::exit(1);
+            }
+        }
+    }
+};
+
+LogConfig &
+logConfig()
+{
+    static LogConfig config;
+    return config;
+}
+
+/** Append @p s JSON-escaped (no quotes) to @p out. */
+void
+appendJsonEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        const char c = *s;
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+void
+vreport(LogLevel level, const char *tag, const char *fmt,
+        va_list args)
+{
+    if (!logLevelEnabled(level))
+        return;
     char buf[1024];
     std::vsnprintf(buf, sizeof(buf), fmt, args);
+    if (logFormat() == LogFormat::Json) {
+        std::string line = "{\"ts_us\": ";
+        char num[32];
+        std::snprintf(num, sizeof(num), "%llu",
+                      static_cast<unsigned long long>(logMicros()));
+        line += num;
+        line += ", \"level\": \"";
+        line += tag;
+        line += "\"";
+        if (!tLogTag.empty()) {
+            line += ", \"thread\": \"";
+            appendJsonEscaped(line, tLogTag.c_str());
+            line += "\"";
+        }
+        line += ", \"msg\": \"";
+        appendJsonEscaped(line, buf);
+        line += "\"}";
+        std::lock_guard<std::mutex> guard(logMutex());
+        std::fprintf(stderr, "%s\n", line.c_str());
+        return;
+    }
     std::lock_guard<std::mutex> guard(logMutex());
     if (tLogTag.empty())
         std::fprintf(stderr, "%s: %s\n", tag, buf);
@@ -39,6 +157,66 @@ vreport(const char *tag, const char *fmt, va_list args)
 }
 
 } // namespace
+
+LogFormat
+logFormat()
+{
+    return static_cast<LogFormat>(
+        logConfig().format.load(std::memory_order_relaxed));
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        logConfig().level.load(std::memory_order_relaxed));
+}
+
+void
+setLogFormat(LogFormat format)
+{
+    logConfig().format.store(static_cast<int>(format),
+                             std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    logConfig().level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+
+bool
+logLevelEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >=
+           static_cast<int>(logLevel());
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "info";
+}
+
+void
+logRawLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> guard(logMutex());
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+const std::string &
+logThreadTag()
+{
+    return tLogTag;
+}
 
 void
 setLogThreadTag(const std::string &tag)
@@ -62,7 +240,7 @@ panic(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("panic", fmt, args);
+    vreport(LogLevel::Error, "panic", fmt, args);
     va_end(args);
     std::abort();
 }
@@ -72,7 +250,7 @@ fatal(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("fatal", fmt, args);
+    vreport(LogLevel::Error, "fatal", fmt, args);
     va_end(args);
     std::exit(1);
 }
@@ -82,7 +260,7 @@ warn(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("warn", fmt, args);
+    vreport(LogLevel::Warn, "warn", fmt, args);
     va_end(args);
 }
 
@@ -91,7 +269,16 @@ inform(const char *fmt, ...)
 {
     va_list args;
     va_start(args, fmt);
-    vreport("info", fmt, args);
+    vreport(LogLevel::Info, "info", fmt, args);
+    va_end(args);
+}
+
+void
+debugmsg(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport(LogLevel::Debug, "debug", fmt, args);
     va_end(args);
 }
 

@@ -3,6 +3,19 @@
  * gem5-style status and error reporting: panic() for internal
  * invariant violations, fatal() for user/configuration errors, warn()
  * and inform() for non-fatal notices.
+ *
+ * Output is leveled and thread-tagged, with two wire formats
+ * selected by TPRE_LOG (DESIGN.md section 12):
+ *
+ *   text (default)  "[tag] level: message" on stderr, as before
+ *   json            one NDJSON record per message on stderr:
+ *                   {"ts_us": N, "level": "...", "thread": "...",
+ *                    "msg": "..."}
+ *
+ * TPRE_LOG_LEVEL (debug|info|warn|error, default info) suppresses
+ * records below the threshold; panic/fatal are error-level and
+ * never suppressed. Both variables are parsed strictly — an
+ * unknown value is a configuration error, not a silent default.
  */
 
 #ifndef TPRE_COMMON_LOGGING_HH
@@ -13,6 +26,51 @@
 
 namespace tpre
 {
+
+/** Message severities, in ascending order. */
+enum class LogLevel : int
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3,
+};
+
+/** Wire format of the stderr log stream. */
+enum class LogFormat : int
+{
+    Text = 0,
+    Json = 1,
+};
+
+/** The active format (TPRE_LOG, or a setLogFormat override). */
+LogFormat logFormat();
+
+/** The active threshold (TPRE_LOG_LEVEL / setLogLevel). */
+LogLevel logLevel();
+
+/** Override the wire format (tests, command-line flags). */
+void setLogFormat(LogFormat format);
+
+/** Override the level threshold (tests, command-line flags). */
+void setLogLevel(LogLevel level);
+
+/** Would a message at @p level currently be emitted? */
+bool logLevelEnabled(LogLevel level);
+
+/** Stable lowercase level name ("debug" .. "error"). */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Emit one preformatted line to the log stream under the log
+ * mutex, so it cannot interleave with concurrent messages. The
+ * telemetry heartbeat publisher uses this to write complete NDJSON
+ * records with extra fields; @p line must not contain newlines.
+ */
+void logRawLine(const std::string &line);
+
+/** The calling thread's current log tag ("" when unset). */
+const std::string &logThreadTag();
 
 /**
  * Report an internal simulator bug and abort. Use for conditions that
@@ -34,11 +92,16 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Emit an informational status message. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/** Emit a debug-level message (hidden unless TPRE_LOG_LEVEL=debug). */
+void debugmsg(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
 /**
  * Set this thread's log tag; every subsequent message from the
- * thread is prefixed with "[tag] ". Worker threads of the parallel
- * sweep engine set a stable per-job tag so interleaved output can
- * be attributed. An empty tag (the default) adds no prefix.
+ * thread is prefixed with "[tag] " (text) or carried in the
+ * "thread" field (json). Worker threads of the parallel sweep
+ * engine set a stable per-job tag so interleaved output can be
+ * attributed. An empty tag (the default) adds no prefix.
  */
 void setLogThreadTag(const std::string &tag);
 

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace tpre::obs
 {
@@ -96,19 +97,23 @@ threadRing()
     return ring;
 }
 
+std::size_t
+traceRingCapacityFromEnv()
+{
+    const char *env = std::getenv("TPRE_TRACE_BUF");
+    if (!env)
+        return 65536;
+    const std::int64_t v = parsePositiveInt(env, "TPRE_TRACE_BUF");
+    if (v < 16)
+        fatal("TPRE_TRACE_BUF: %lld is below the minimum ring "
+              "capacity of 16",
+              static_cast<long long>(v));
+    return static_cast<std::size_t>(v);
+}
+
 Tracer::Tracer()
 {
-    capacity_ = 65536;
-    if (const char *env = std::getenv("TPRE_TRACE_BUF")) {
-        char *end = nullptr;
-        long v = std::strtol(env, &end, 10);
-        if (end && *end == '\0' && v >= 16) {
-            capacity_ = static_cast<std::size_t>(v);
-        } else {
-            warn("ignoring TPRE_TRACE_BUF='%s' (want integer >= 16)",
-                 env);
-        }
-    }
+    capacity_ = traceRingCapacityFromEnv();
     if (const char *env = std::getenv("TPRE_TRACE")) {
         if (env[0] == '1' && env[1] == '\0')
             enabled_.store(true, std::memory_order_relaxed);

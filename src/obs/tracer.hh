@@ -57,6 +57,14 @@ struct TraceEvent
 /** Microseconds of wall clock since the first call in the process. */
 std::uint64_t wallMicros();
 
+/**
+ * Per-thread ring capacity from TPRE_TRACE_BUF (default 65536).
+ * Parsed strictly: a non-integer or a value below 16 is a fatal
+ * configuration error, not a silently ignored one — a user who
+ * sized the ring expects that size to take effect.
+ */
+std::size_t traceRingCapacityFromEnv();
+
 /** One thread's event ring; see threadRing(). */
 class EventRing
 {

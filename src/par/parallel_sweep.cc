@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "par/thread_pool.hh"
+#include "telemetry/run_registry.hh"
 
 namespace tpre::par
 {
@@ -20,8 +21,10 @@ jobSeed(std::uint64_t seed, std::size_t jobIndex)
 
 void
 runJobs(std::size_t n, unsigned jobs, std::uint64_t seed,
-        const std::function<void(std::size_t, Rng &)> &body)
+        const std::function<void(std::size_t, Rng &)> &body,
+        const char *runName)
 {
+    telemetry::RunScope run(runName, n);
     ThreadPool pool(jobs <= 1 ? 0 : jobs);
     const bool tagged = pool.threads() > 0;
     pool.parallelFor(n, [&](std::size_t i) {
@@ -32,6 +35,7 @@ runJobs(std::size_t n, unsigned jobs, std::uint64_t seed,
         } else {
             body(i, rng);
         }
+        run.jobFinished();
     });
 }
 
@@ -56,7 +60,7 @@ runParallelGrid(Simulator &sim,
             opts.onResult(results[nextEmit]);
             ++nextEmit;
         }
-    });
+    }, opts.name);
     return results;
 }
 

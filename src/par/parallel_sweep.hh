@@ -37,6 +37,8 @@ struct SweepOptions
     unsigned jobs = 1;
     /** Base seed for the per-job Rng streams. */
     std::uint64_t seed = 0;
+    /** Run name shown on the /runs telemetry endpoint. */
+    const char *name = "sweep";
     /**
      * Called once per result, strictly in job-index order (a
      * completed job's result is held back until all earlier jobs
@@ -53,10 +55,14 @@ std::uint64_t jobSeed(std::uint64_t seed, std::size_t jobIndex);
  * Run body(index, rng) for every index in [0, n) across @p jobs
  * workers, where rng is the job's private Rng(jobSeed(seed, i))
  * stream. Each worker-side invocation carries a "job <i>" log tag.
- * Exceptions propagate per ThreadPool::parallelFor semantics.
+ * The batch is registered with the telemetry RunRegistry under
+ * @p runName for the duration of the call, so /runs reports its
+ * progress. Exceptions propagate per ThreadPool::parallelFor
+ * semantics.
  */
 void runJobs(std::size_t n, unsigned jobs, std::uint64_t seed,
-             const std::function<void(std::size_t, Rng &)> &body);
+             const std::function<void(std::size_t, Rng &)> &body,
+             const char *runName = "jobs");
 
 /**
  * Run every configuration through @p sim, sharded across a pool,

@@ -115,6 +115,12 @@ PreconstructionEngine::emitTrace(Region &region, Trace trace)
     ++stats_.tracesConstructed;
     ++region.tracesEmitted;
     TPRE_OBS_COUNT("precon.traces_constructed");
+    // Provenance stamp: this trace exists because the engine built
+    // it ahead of demand, at this engine cycle. The stamp survives
+    // buffering, promotion into the trace cache and preprocessing,
+    // so the cache can attribute the line's eventual outcome.
+    trace.origin = TraceOrigin::Precon;
+    trace.buildCycle = now_;
     // Avoid redundancy with the primary trace cache (Section 3.1).
     const bool in_primary = primaryProbe_
                                 ? primaryProbe_(trace.id)

@@ -224,6 +224,8 @@ BenchReport::render(double wallSeconds) const
                u64(r.precon.tracesConstructed) + ", ";
         out += "\"precon_buffer_hits\": " +
                u64(r.precon.bufferHits) + ", ";
+        out += "\"provenance\": " +
+               renderProvenanceJson(r.provenance) + ", ";
         out += "\"wall_seconds\": " + jsonNumber(r.wallSeconds) +
                ", ";
         out += "\"mips\": " + jsonNumber(r.mips) + "}";

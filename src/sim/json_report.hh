@@ -32,6 +32,14 @@
  *         "icache_misses_per_ki": X,
  *         "icache_miss_supply_per_ki": X,
  *         "precon_traces_constructed": N, "precon_buffer_hits": N,
+ *         "provenance": {
+ *           "fill":   {"builds": N, "hits": N, "first_uses": N,
+ *                      "first_use_latency_sum": N,
+ *                      "evict_capacity": N, "evict_refresh": N,
+ *                      "evict_invalidate": N, "evict_clear": N,
+ *                      "evicted_unused": N},
+ *           "precon": {same keys}
+ *         },
  *         "wall_seconds": X, "mips": X
  *       }, ...
  *     ]
@@ -75,6 +83,9 @@ class BenchReport
 
     /** Append one result row (call in output order). */
     void add(const SimResult &row);
+
+    /** Report (and output file) name. */
+    const std::string &name() const { return bench_; }
 
     std::size_t rows() const { return rows_.size(); }
 

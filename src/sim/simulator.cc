@@ -66,6 +66,7 @@ Simulator::run(const SimConfig &config)
                 ki;
         }
         result.precon = st.precon;
+        result.provenance = st.provenance;
     } else {
         TraceProcessor proc(wl.program,
                             config.toProcessorConfig());
@@ -88,6 +89,7 @@ Simulator::run(const SimConfig &config)
         }
         result.precon = st.precon;
         result.prep = st.prep;
+        result.provenance = st.provenance;
     }
 
     result.wallSeconds =

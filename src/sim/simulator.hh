@@ -14,6 +14,7 @@
 #include <mutex>
 
 #include "sim/config.hh"
+#include "telemetry/provenance.hh"
 #include "workload/generator.hh"
 
 namespace tpre
@@ -39,6 +40,13 @@ struct SimResult
     double icacheMissSupplyPerKi = 0.0;
     PreconstructionEngine::Stats precon;
     Preprocessor::Stats prep;
+    /**
+     * Per-origin (fill unit vs preconstruction engine) trace-cache
+     * line provenance: builds, hits, first-use latency, eviction
+     * reasons. Zero for the unified-cache ablation simulators,
+     * which bypass the primary TraceCache.
+     */
+    ProvenanceTable provenance;
     /**
      * Wall-clock seconds spent executing the simulation proper.
      * Workload generation is excluded: workloads are cached and

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Crash/exit flight recorder: on a fatal signal (SIGSEGV, SIGBUS,
+ * SIGILL, SIGFPE, SIGABRT) dump the tpre::obs metrics registry —
+ * and, when the cycle tracer is enabled, every thread's event
+ * ring — into TPRE_BENCH_DIR so a crashed overnight sweep leaves
+ * its last known state behind (DESIGN.md section 12). Files:
+ *
+ *   FLIGHT_<tag>.json        registry snapshot + crash reason
+ *   FLIGHT_<tag>_trace.json  Chrome trace of the tracer rings
+ *
+ * The handler is installed with SA_RESETHAND and re-raises, so
+ * the process still dies with the original signal (exit codes and
+ * core dumps are preserved). Dumping from a signal handler is
+ * best-effort by nature — it allocates — but the alternative on
+ * the paths that matter (heap intact, wild pointer elsewhere) is
+ * losing hours of run state; a recursive crash still terminates
+ * via the re-raised default action.
+ *
+ * Opt-out: TPRE_FLIGHT_RECORDER=0 skips installation.
+ */
+
+#ifndef TPRE_TELEMETRY_FLIGHT_RECORDER_HH
+#define TPRE_TELEMETRY_FLIGHT_RECORDER_HH
+
+#include <string>
+
+namespace tpre::telemetry
+{
+
+/**
+ * Install the fatal-signal handlers (idempotent; the first tag
+ * wins). Call once from a binary's startup, after argument
+ * parsing. No-op when TPRE_FLIGHT_RECORDER=0.
+ */
+void installFlightRecorder(const std::string &tag);
+
+/**
+ * Write the flight record now (also callable outside any signal
+ * context, e.g. from tests). Returns the registry dump's path, or
+ * "" when the file cannot be created.
+ */
+std::string writeFlightRecord(const char *reason);
+
+} // namespace tpre::telemetry
+
+#endif // TPRE_TELEMETRY_FLIGHT_RECORDER_HH

@@ -1,0 +1,141 @@
+#include "telemetry/heartbeat.hh"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+#include "sim/json_report.hh"
+
+namespace tpre::telemetry
+{
+
+namespace
+{
+
+std::string
+fixed(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", value);
+    return buf;
+}
+
+} // namespace
+
+Heartbeat::~Heartbeat()
+{
+    stop();
+}
+
+void
+Heartbeat::start(unsigned periodSeconds)
+{
+    tpre_assert(!thread_.joinable(), "heartbeat already running");
+    tpre_assert(periodSeconds > 0);
+    stopping_ = false;
+    thread_ =
+        std::thread([this, periodSeconds] { beatLoop(periodSeconds); });
+}
+
+void
+Heartbeat::stop()
+{
+    if (!thread_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+std::string
+Heartbeat::formatBeat(std::uint64_t instructions, double seconds,
+                      std::uint64_t tcacheProbes,
+                      std::uint64_t tcacheHits, std::uint64_t pbHits)
+{
+    const double mips =
+        seconds > 0.0
+            ? static_cast<double>(instructions) / 1e6 / seconds
+            : 0.0;
+    // Hit rate counts both trace-cache hits and preconstruction
+    // buffer promotions as supply from the trace path; coverage is
+    // the preconstructed share of that supply (paper section 4).
+    const double hitRate =
+        tcacheProbes > 0
+            ? static_cast<double>(tcacheHits + pbHits) /
+                  static_cast<double>(tcacheProbes)
+            : 0.0;
+    const double preconCoverage =
+        tcacheHits + pbHits > 0
+            ? static_cast<double>(pbHits) /
+                  static_cast<double>(tcacheHits + pbHits)
+            : 0.0;
+
+    if (logFormat() == LogFormat::Json) {
+        std::string line = "{\"event\": \"heartbeat\", ";
+        line += "\"instructions\": " + std::to_string(instructions) +
+                ", ";
+        line += "\"interval_seconds\": " + jsonNumber(seconds) + ", ";
+        line += "\"mips\": " + jsonNumber(mips) + ", ";
+        line += "\"tcache_hit_rate\": " + jsonNumber(hitRate) + ", ";
+        line += "\"precon_coverage\": " + jsonNumber(preconCoverage);
+        if (!logThreadTag().empty())
+            line += ", \"thread\": \"" + jsonEscape(logThreadTag()) +
+                    "\"";
+        line += "}";
+        return line;
+    }
+    return "heartbeat: " + std::to_string(instructions) +
+           " insts in " + fixed(seconds) + "s (" + fixed(mips) +
+           " MIPS), tcache hit rate " + fixed(hitRate) +
+           ", precon coverage " + fixed(preconCoverage);
+}
+
+void
+Heartbeat::beatLoop(unsigned periodSeconds)
+{
+    ScopedLogTag tag("heartbeat");
+    const obs::MetricsRegistry &reg =
+        obs::MetricsRegistry::instance();
+
+    std::uint64_t lastInsts = reg.counterValue("sim.instructions");
+    std::uint64_t lastProbes = reg.counterValue("tcache.probes");
+    std::uint64_t lastHits = reg.counterValue("tcache.hits");
+    std::uint64_t lastPbHits = reg.counterValue("pb.hits");
+    std::uint64_t lastMicros = obs::wallMicros();
+
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock,
+                         std::chrono::seconds(periodSeconds),
+                         [this] { return stopping_; })) {
+        const std::uint64_t insts =
+            reg.counterValue("sim.instructions");
+        const std::uint64_t probes =
+            reg.counterValue("tcache.probes");
+        const std::uint64_t hits = reg.counterValue("tcache.hits");
+        const std::uint64_t pbHits = reg.counterValue("pb.hits");
+        const std::uint64_t nowMicros = obs::wallMicros();
+
+        const std::string beat = formatBeat(
+            insts - lastInsts,
+            static_cast<double>(nowMicros - lastMicros) / 1e6,
+            probes - lastProbes, hits - lastHits,
+            pbHits - lastPbHits);
+        if (logFormat() == LogFormat::Json)
+            logRawLine(beat);
+        else
+            inform("%s", beat.c_str());
+
+        lastInsts = insts;
+        lastProbes = probes;
+        lastHits = hits;
+        lastPbHits = pbHits;
+        lastMicros = nowMicros;
+    }
+}
+
+} // namespace tpre::telemetry

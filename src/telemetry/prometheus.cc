@@ -1,0 +1,126 @@
+#include "telemetry/prometheus.hh"
+
+#include <cstdio>
+
+namespace tpre::telemetry
+{
+
+namespace
+{
+
+std::string
+u64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+i64(std::int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    return buf;
+}
+
+/** HELP-line escaping: backslash and newline only (the spec). */
+std::string
+helpEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+const char *
+kindWord(obs::MetricKind kind)
+{
+    switch (kind) {
+      case obs::MetricKind::Counter: return "counter";
+      case obs::MetricKind::Gauge: return "gauge";
+      case obs::MetricKind::Histogram: return "histogram";
+    }
+    return "untyped";
+}
+
+} // namespace
+
+std::string
+promFamilyName(std::string_view name, obs::MetricKind kind)
+{
+    std::string out = "tpre_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (kind == obs::MetricKind::Counter)
+        out += "_total";
+    return out;
+}
+
+std::string
+renderPrometheus(const std::vector<obs::MetricRow> &rows)
+{
+    std::string out;
+    for (const obs::MetricRow &row : rows) {
+        const std::string family =
+            promFamilyName(row.name, row.kind);
+        out += "# HELP " + family + " tpre::obs " +
+               kindWord(row.kind) + " " + helpEscape(row.name) +
+               "\n";
+        out += "# TYPE " + family + " " + kindWord(row.kind) + "\n";
+        switch (row.kind) {
+          case obs::MetricKind::Counter:
+            out += family + " " +
+                   u64(static_cast<std::uint64_t>(row.value)) +
+                   "\n";
+            break;
+          case obs::MetricKind::Gauge:
+            out += family + " " + i64(row.value) + "\n";
+            break;
+          case obs::MetricKind::Histogram: {
+            // The registry stores per-bucket counts with inclusive
+            // upper bounds; Prometheus buckets are cumulative and
+            // end with the mandatory le="+Inf" == _count.
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < row.hist.bounds.size();
+                 ++i) {
+                cumulative += i < row.hist.buckets.size()
+                                  ? row.hist.buckets[i]
+                                  : 0;
+                out += family + "_bucket{le=\"" +
+                       u64(row.hist.bounds[i]) + "\"} " +
+                       u64(cumulative) + "\n";
+            }
+            out += family + "_bucket{le=\"+Inf\"} " +
+                   u64(row.hist.count) + "\n";
+            out += family + "_sum " + u64(row.hist.sum) + "\n";
+            out += family + "_count " + u64(row.hist.count) + "\n";
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+std::string
+renderRegistryPrometheus()
+{
+    return renderPrometheus(
+        obs::MetricsRegistry::instance().snapshot());
+}
+
+} // namespace tpre::telemetry

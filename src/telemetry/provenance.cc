@@ -1,0 +1,82 @@
+#include "telemetry/provenance.hh"
+
+#include <cstdio>
+
+namespace tpre
+{
+
+const char *
+traceOriginName(TraceOrigin origin)
+{
+    return origin == TraceOrigin::Precon ? "precon" : "fill";
+}
+
+std::uint64_t
+ProvenanceTable::totalBuilds() const
+{
+    std::uint64_t n = 0;
+    for (const OriginProvenance &o : origins)
+        n += o.builds;
+    return n;
+}
+
+std::uint64_t
+ProvenanceTable::totalHits() const
+{
+    std::uint64_t n = 0;
+    for (const OriginProvenance &o : origins)
+        n += o.hits;
+    return n;
+}
+
+std::uint64_t
+ProvenanceTable::totalEvictions() const
+{
+    std::uint64_t n = 0;
+    for (const OriginProvenance &o : origins)
+        n += o.evictions();
+    return n;
+}
+
+namespace
+{
+
+std::string
+u64(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderProvenanceJson(const ProvenanceTable &table)
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < kNumOrigins; ++i) {
+        const OriginProvenance &o = table.origins[i];
+        if (i)
+            out += ", ";
+        out += "\"";
+        out += traceOriginName(static_cast<TraceOrigin>(i));
+        out += "\": {";
+        out += "\"builds\": " + u64(o.builds) + ", ";
+        out += "\"hits\": " + u64(o.hits) + ", ";
+        out += "\"first_uses\": " + u64(o.firstUses) + ", ";
+        out += "\"first_use_latency_sum\": " +
+               u64(o.firstUseLatencySum) + ", ";
+        out += "\"evict_capacity\": " + u64(o.evictCapacity) + ", ";
+        out += "\"evict_refresh\": " + u64(o.evictRefresh) + ", ";
+        out += "\"evict_invalidate\": " + u64(o.evictInvalidate) +
+               ", ";
+        out += "\"evict_clear\": " + u64(o.evictClear) + ", ";
+        out += "\"evicted_unused\": " + u64(o.evictedUnused) + "}";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace tpre

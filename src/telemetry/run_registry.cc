@@ -1,0 +1,113 @@
+#include "telemetry/run_registry.hh"
+
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/tracer.hh"
+#include "sim/json_report.hh"
+
+namespace tpre::telemetry
+{
+
+RunRegistry &
+RunRegistry::instance()
+{
+    static RunRegistry *registry = new RunRegistry();
+    return *registry;
+}
+
+std::shared_ptr<RunRecord>
+RunRegistry::open(std::string name, std::uint64_t totalJobs)
+{
+    auto record = std::make_shared<RunRecord>();
+    record->name = std::move(name);
+    record->totalJobs = totalJobs;
+    record->startMicros = obs::wallMicros();
+    record->startInstructions =
+        obs::MetricsRegistry::instance().counterValue(
+            "sim.instructions");
+    std::lock_guard<std::mutex> guard(mu_);
+    runs_.push_back(record);
+    return record;
+}
+
+void
+RunRegistry::close(const std::shared_ptr<RunRecord> &record)
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        if (runs_[i] == record) {
+            runs_.erase(runs_.begin() + i);
+            return;
+        }
+    }
+}
+
+std::string
+RunRegistry::runsJson() const
+{
+    const std::uint64_t nowMicros = obs::wallMicros();
+    const std::uint64_t insts =
+        obs::MetricsRegistry::instance().counterValue(
+            "sim.instructions");
+    const std::int64_t queueDepth =
+        obs::MetricsRegistry::instance().gaugeValue(
+            "pool.queue_depth");
+
+    std::vector<std::shared_ptr<RunRecord>> runs;
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        runs = runs_;
+    }
+
+    std::string out = "[";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const RunRecord &r = *runs[i];
+        const double elapsed =
+            nowMicros > r.startMicros
+                ? static_cast<double>(nowMicros - r.startMicros) /
+                      1e6
+                : 0.0;
+        const std::uint64_t done =
+            insts > r.startInstructions
+                ? insts - r.startInstructions
+                : 0;
+        const double mips =
+            elapsed > 0.0 ? static_cast<double>(done) / 1e6 / elapsed
+                          : 0.0;
+        if (i)
+            out += ", ";
+        out += "{\"name\": \"" + jsonEscape(r.name) + "\", ";
+        out += "\"total_jobs\": " +
+               std::to_string(r.totalJobs) + ", ";
+        out += "\"completed_jobs\": " +
+               std::to_string(r.completedJobs.load()) + ", ";
+        out += "\"elapsed_seconds\": " + jsonNumber(elapsed) + ", ";
+        out += "\"instructions\": " + std::to_string(done) + ", ";
+        out += "\"mips\": " + jsonNumber(mips) + ", ";
+        out += "\"queue_depth\": " + std::to_string(queueDepth);
+        out += "}";
+    }
+    out += "]";
+    return out;
+}
+
+std::size_t
+RunRegistry::numRuns() const
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return runs_.size();
+}
+
+RunScope::RunScope(std::string name, std::uint64_t totalJobs)
+    : record_(RunRegistry::instance().open(std::move(name),
+                                           totalJobs))
+{
+}
+
+RunScope::~RunScope()
+{
+    RunRegistry::instance().close(record_);
+}
+
+} // namespace tpre::telemetry

@@ -1,0 +1,214 @@
+#include "telemetry/server.hh"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "telemetry/prometheus.hh"
+#include "telemetry/run_registry.hh"
+
+namespace tpre::telemetry
+{
+
+namespace
+{
+
+/** Write all of @p data, tolerating short writes and EINTR. */
+void
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // peer went away; nothing to salvage
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string
+httpResponse(const char *status, const char *contentType,
+             const std::string &body)
+{
+    std::string out = "HTTP/1.1 ";
+    out += status;
+    out += "\r\nContent-Type: ";
+    out += contentType;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // namespace
+
+TelemetryServer::~TelemetryServer()
+{
+    stop();
+}
+
+void
+TelemetryServer::start(std::uint16_t port)
+{
+    tpre_assert(listenFd_ < 0, "telemetry server already running");
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        fatal("telemetry: socket() failed: %s",
+              std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("telemetry: cannot bind 127.0.0.1:%u: %s",
+              unsigned(port), std::strerror(err));
+    }
+    if (::listen(fd, 16) < 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("telemetry: listen() failed: %s", std::strerror(err));
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) < 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("telemetry: getsockname() failed: %s",
+              std::strerror(err));
+    }
+    port_ = ntohs(addr.sin_port);
+
+    if (::pipe(wakeFds_) < 0) {
+        const int err = errno;
+        ::close(fd);
+        fatal("telemetry: pipe() failed: %s", std::strerror(err));
+    }
+
+    listenFd_ = fd;
+    thread_ = std::thread([this] { serveLoop(); });
+    inform("telemetry: serving /metrics /healthz /runs on "
+           "127.0.0.1:%u",
+           unsigned(port_));
+}
+
+void
+TelemetryServer::stop()
+{
+    if (listenFd_ < 0)
+        return;
+    const char byte = 'q';
+    [[maybe_unused]] const ssize_t n =
+        ::write(wakeFds_[1], &byte, 1);
+    thread_.join();
+    ::close(listenFd_);
+    ::close(wakeFds_[0]);
+    ::close(wakeFds_[1]);
+    listenFd_ = -1;
+    wakeFds_[0] = wakeFds_[1] = -1;
+    port_ = 0;
+}
+
+void
+TelemetryServer::serveLoop()
+{
+    ScopedLogTag tag("telemetry");
+    for (;;) {
+        pollfd fds[2];
+        fds[0] = {listenFd_, POLLIN, 0};
+        fds[1] = {wakeFds_[0], POLLIN, 0};
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("poll() failed: %s", std::strerror(errno));
+            return;
+        }
+        if (fds[1].revents)
+            return; // stop() wrote the wake byte
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        const int conn = ::accept(listenFd_, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        handleConnection(conn);
+        ::close(conn);
+    }
+}
+
+void
+TelemetryServer::handleConnection(int fd)
+{
+    // One short GET per connection; read until the header
+    // terminator or the buffer fills (anything longer is not a
+    // request we serve).
+    char buf[2048];
+    std::size_t got = 0;
+    while (got < sizeof(buf) - 1) {
+        const ssize_t n =
+            ::read(fd, buf + got, sizeof(buf) - 1 - got);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        got += static_cast<std::size_t>(n);
+        buf[got] = '\0';
+        if (std::strstr(buf, "\r\n\r\n"))
+            break;
+    }
+    buf[got] = '\0';
+
+    const std::string request(buf);
+    const std::size_t methodEnd = request.find(' ');
+    const std::size_t pathEnd =
+        methodEnd == std::string::npos
+            ? std::string::npos
+            : request.find(' ', methodEnd + 1);
+    if (methodEnd == std::string::npos ||
+        pathEnd == std::string::npos ||
+        request.compare(0, methodEnd, "GET") != 0) {
+        writeAll(fd, httpResponse("405 Method Not Allowed",
+                                  "text/plain", "GET only\n"));
+        return;
+    }
+    const std::string path =
+        request.substr(methodEnd + 1, pathEnd - methodEnd - 1);
+
+    if (path == "/metrics") {
+        writeAll(fd,
+                 httpResponse("200 OK",
+                              "text/plain; version=0.0.4; "
+                              "charset=utf-8",
+                              renderRegistryPrometheus()));
+    } else if (path == "/healthz") {
+        writeAll(fd,
+                 httpResponse("200 OK", "text/plain", "ok\n"));
+    } else if (path == "/runs") {
+        writeAll(fd, httpResponse(
+                         "200 OK", "application/json",
+                         RunRegistry::instance().runsJson() + "\n"));
+    } else {
+        writeAll(fd, httpResponse("404 Not Found", "text/plain",
+                                  "not found\n"));
+    }
+}
+
+} // namespace tpre::telemetry

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Live telemetry endpoint: a dependency-free HTTP/1.1 exporter
+ * serving the tpre::obs registry while a bench or fuzz campaign
+ * runs (DESIGN.md section 12). Routes:
+ *
+ *   GET /metrics   Prometheus text exposition of the registry
+ *   GET /healthz   "ok" liveness probe
+ *   GET /runs      JSON array of in-flight runs (RunRegistry)
+ *
+ * The server binds the loopback interface only, runs a poll loop
+ * on its own thread, and handles one request per connection
+ * (Connection: close) — scrapers, curl and CI smoke tests need
+ * nothing fancier, and the simulator hot path is never touched:
+ * every scrape costs one registry snapshot on the server thread.
+ *
+ * Enabled explicitly via --telemetry-port / TPRE_TELEMETRY_PORT;
+ * when unset no thread starts and no socket is opened. Port 0
+ * binds an ephemeral port (tests); port() reports the actual one.
+ */
+
+#ifndef TPRE_TELEMETRY_SERVER_HH
+#define TPRE_TELEMETRY_SERVER_HH
+
+#include <cstdint>
+#include <thread>
+
+namespace tpre::telemetry
+{
+
+class TelemetryServer
+{
+  public:
+    TelemetryServer() = default;
+    ~TelemetryServer();
+    TelemetryServer(const TelemetryServer &) = delete;
+    TelemetryServer &operator=(const TelemetryServer &) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port and start the serving thread. Port 0
+     * picks an ephemeral port. fatal() on bind failure (a
+     * requested telemetry endpoint that cannot start is a
+     * configuration error, not a warning).
+     */
+    void start(std::uint16_t port);
+
+    /** Stop the thread and close the socket (idempotent). */
+    void stop();
+
+    /** The bound port; 0 when not running. */
+    std::uint16_t port() const { return port_; }
+
+    bool running() const { return listenFd_ >= 0; }
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    int listenFd_ = -1;
+    int wakeFds_[2] = {-1, -1};
+    std::uint16_t port_ = 0;
+    std::thread thread_;
+};
+
+} // namespace tpre::telemetry
+
+#endif // TPRE_TELEMETRY_SERVER_HH

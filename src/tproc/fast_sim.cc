@@ -46,6 +46,7 @@ FastSim::processTrace(const std::vector<DynInst> &window,
             ++stats_.traceWorkingSet;
     }
 
+    traceCache_.advanceTo(stats_.cycles);
     const Trace *stored = traceCache_.lookup(trace.id);
     const bool hit = stored != nullptr;
     bool pb_hit = false;
@@ -55,8 +56,11 @@ FastSim::processTrace(const std::vector<DynInst> &window,
             // Copy the preconstructed trace into the trace cache
             // and free the buffer entry (Section 3.1). insert()
             // hands back the stored image directly, so the served
-            // trace needs no second probe.
-            stored = traceCache_.insert(*buffered);
+            // trace needs no second probe; servedAtInsert makes
+            // the provenance ledger count the serve as the line's
+            // first use (its latency is the engine's lead time).
+            stored = traceCache_.insert(*buffered,
+                                        /*servedAtInsert=*/true);
             engine_->consumeHit(trace.id);
             pb_hit = true;
         }
@@ -130,7 +134,9 @@ FastSim::processTrace(const std::vector<DynInst> &window,
                             stats_.cycles, trace_cycles, trace.len());
 
         // Last use of the segmented trace: donate it to the cache
-        // instead of copying.
+        // instead of copying. The slow path finishes assembling it
+        // trace_cycles from now; stamp that as the build cycle.
+        trace.buildCycle = stats_.cycles + trace_cycles;
         traceCache_.insert(std::move(trace));
     }
 
@@ -188,6 +194,7 @@ FastSim::run(InstCount maxInsts)
     stats_.icache = icache_.stats();
     if (engine_)
         stats_.precon = engine_->stats();
+    stats_.provenance = traceCache_.provenance();
     tpre_check_run(check::enforce(check::statsConserved(stats_),
                                   "FastSim end of run"));
     return stats_;

@@ -83,6 +83,8 @@ struct FastSimStats
      *  some earlier point (so it was lost to churn, not never
      *  constructed). */
     std::uint64_t missEverConstructed = 0;
+    /** Per-origin trace-cache line provenance (copied at run end). */
+    ProvenanceTable provenance;
 
     /** The paper's favourite unit. */
     double missesPerKiloInst() const

@@ -138,6 +138,7 @@ TraceProcessor::doLookup()
     const PendingTrace &front = oracle_.front();
     const TraceId &id = front.trace.id;
 
+    traceCache_.advanceTo(now_);
     const Trace *stored = traceCache_.lookup(id);
     bool pb = false;
     if (!stored && engine_) {
@@ -175,8 +176,13 @@ TraceProcessor::doLookup()
         slowBusyUntil_ = std::max(slowBusyUntil_, fetchReadyAt_);
         fetchWasSlow_ = true;
         dispatchTrace_ = front.trace;
-        if (!stored)
-            traceCache_.insert(prepared(front.trace));
+        if (!stored) {
+            Trace filled = prepared(front.trace);
+            // The fill unit finishes assembling the line when the
+            // slow fetch completes.
+            filled.buildCycle = fetchReadyAt_;
+            traceCache_.insert(std::move(filled));
+        }
     }
     afterResolve_ = false;
     fetchState_ = FetchState::WaitReady;
@@ -344,6 +350,7 @@ TraceProcessor::run(InstCount maxInsts)
     stats_.cycles = now_;
     stats_.icache = icache_.stats();
     stats_.backend = backend_.stats();
+    stats_.provenance = traceCache_.provenance();
     if (engine_)
         stats_.precon = engine_->stats();
     if (prep_)

@@ -80,6 +80,8 @@ struct ProcessorStats
     TimingBackend::Stats backend;
     PreconstructionEngine::Stats precon;
     Preprocessor::Stats prep;
+    /** Per-origin trace-cache line provenance (copied at run end). */
+    ProvenanceTable provenance;
 
     double
     ipc() const
@@ -102,6 +104,9 @@ class TraceProcessor
     const ProcessorStats &run(InstCount maxInsts);
 
     const ProcessorStats &stats() const { return stats_; }
+
+    /** The primary trace cache (provenance reconciliation). */
+    const TraceCache &traceCache() const { return traceCache_; }
 
   private:
     /** One oracle-segmented trace plus its dynamic records. */

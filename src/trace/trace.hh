@@ -14,6 +14,7 @@
 
 #include "common/inline_vec.hh"
 #include "isa/instruction.hh"
+#include "telemetry/provenance.hh"
 
 namespace tpre
 {
@@ -124,6 +125,16 @@ struct Trace
     TraceEndReason endReason = TraceEndReason::MaxLength;
     /** Set once trace preprocessing has transformed the body. */
     bool preprocessed = false;
+    /**
+     * Provenance: who assembled this trace. The demand path leaves
+     * the default; the preconstruction engine stamps Precon (and
+     * the construction cycle) in emitTrace(), and the stamp rides
+     * along through buffers, promotion and preprocessing so the
+     * trace cache can attribute every line's outcome to a builder.
+     */
+    TraceOrigin origin = TraceOrigin::FillUnit;
+    /** Cycle the builder finished assembling the trace. */
+    Cycle buildCycle = 0;
 
     unsigned len() const { return insts.size(); }
     bool endsInReturn() const

@@ -49,6 +49,37 @@ TraceCache::findEntry(const TraceId &id) const
     return const_cast<TraceCache *>(this)->findEntry(id);
 }
 
+void
+TraceCache::recordUse(Entry &entry)
+{
+    OriginProvenance &o = prov_.of(entry.trace.origin);
+    ++o.hits;
+    if (entry.hits++ == 0) {
+        ++o.firstUses;
+        // The clocks agree by construction (the owning simulator
+        // drives both), but a zero provenance clock (unit tests)
+        // must not underflow against a stamped build cycle.
+        o.firstUseLatencySum +=
+            now_ > entry.trace.buildCycle
+                ? now_ - entry.trace.buildCycle
+                : 0;
+    }
+}
+
+void
+TraceCache::recordEviction(const Entry &entry, EvictReason reason)
+{
+    OriginProvenance &o = prov_.of(entry.trace.origin);
+    switch (reason) {
+      case EvictReason::Capacity: ++o.evictCapacity; break;
+      case EvictReason::Refresh: ++o.evictRefresh; break;
+      case EvictReason::Invalidate: ++o.evictInvalidate; break;
+      case EvictReason::Clear: ++o.evictClear; break;
+    }
+    if (entry.hits == 0)
+        ++o.evictedUnused;
+}
+
 const Trace *
 TraceCache::lookup(const TraceId &id)
 {
@@ -58,6 +89,7 @@ TraceCache::lookup(const TraceId &id)
         return nullptr;
     TPRE_OBS_COUNT("tcache.hits");
     entry->lastUse = tick();
+    recordUse(*entry);
     return &entry->trace;
 }
 
@@ -82,22 +114,32 @@ TraceCache::victimIn(std::size_t set)
 }
 
 const Trace *
-TraceCache::insert(Trace trace)
+TraceCache::insert(Trace trace, bool servedAtInsert)
 {
     tpre_assert(trace.id.valid(), "inserting invalid trace");
     TPRE_OBS_COUNT("tcache.fills");
+    ++prov_.of(trace.origin).builds;
     // Refresh in place when the identical trace is already present.
     if (Entry *existing = findEntry(trace.id)) {
+        recordEviction(*existing, EvictReason::Refresh);
         existing->trace = std::move(trace);
         existing->lastUse = tick();
+        existing->hits = 0;
+        if (servedAtInsert)
+            recordUse(*existing);
         return &existing->trace;
     }
     Entry &victim = victimIn(setOf(trace.id));
-    if (victim.valid)
+    if (victim.valid) {
         TPRE_OBS_COUNT("tcache.evictions");
+        recordEviction(victim, EvictReason::Capacity);
+    }
     victim.valid = true;
     victim.trace = std::move(trace);
     victim.lastUse = tick();
+    victim.hits = 0;
+    if (servedAtInsert)
+        recordUse(victim);
     return &victim.trace;
 }
 
@@ -105,8 +147,10 @@ bool
 TraceCache::invalidate(const TraceId &id)
 {
     if (Entry *entry = findEntry(id)) {
+        recordEviction(*entry, EvictReason::Invalidate);
         entry->valid = false;
         entry->trace = Trace();
+        entry->hits = 0;
         return true;
     }
     return false;
@@ -116,9 +160,12 @@ void
 TraceCache::clear()
 {
     for (Entry &entry : entries_) {
+        if (entry.valid)
+            recordEviction(entry, EvictReason::Clear);
         entry.valid = false;
         entry.trace = Trace();
         entry.lastUse = 0;
+        entry.hits = 0;
     }
 }
 

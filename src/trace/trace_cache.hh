@@ -39,11 +39,19 @@ class TraceCache
     /**
      * Insert a trace, evicting the set's LRU entry if needed.
      *
+     * @param servedAtInsert The caller dispatches the stored image
+     *        directly (preconstruction-buffer promotion on the
+     *        fast path inserts-then-serves without a second
+     *        lookup); the provenance ledger records the serve as a
+     *        hit and the line's first use. The tcache.hits obs
+     *        counter is untouched — that counter pins lookup()
+     *        hits only.
+     *
      * @return the stored image, so hit paths that insert-then-serve
      *         (preconstruction-buffer promotion) need no second
      *         probe.
      */
-    const Trace *insert(Trace trace);
+    const Trace *insert(Trace trace, bool servedAtInsert = false);
 
     /** Remove a trace if present; returns true when removed. */
     bool invalidate(const TraceId &id);
@@ -60,11 +68,31 @@ class TraceCache
     /** Number of currently valid entries. */
     std::size_t numValid() const;
 
+    /**
+     * Advance the provenance clock. Simulators call this with
+     * their cycle count before each lookup/insert burst so
+     * first-use latencies are measured in simulated cycles; code
+     * that never calls it (unit tests, the preconstruction
+     * buffers' base usage) keeps a zero clock and simply records
+     * zero latencies.
+     */
+    void
+    advanceTo(Cycle now)
+    {
+        if (now > now_)
+            now_ = now;
+    }
+
+    /** Per-origin lifetime ledger of every line this cache held. */
+    const ProvenanceTable &provenance() const { return prov_; }
+
   protected:
     struct Entry
     {
         bool valid = false;
         std::uint64_t lastUse = 0;
+        /** Fetches this line has served since its insert. */
+        std::uint64_t hits = 0;
         Trace trace;
     };
 
@@ -78,11 +106,19 @@ class TraceCache
 
     std::uint64_t tick() { return ++useClock_; }
 
+    /** Record a serve on @p entry (lookup hit or promote-serve). */
+    void recordUse(Entry &entry);
+    /** Close @p entry's provenance record with @p reason. */
+    void recordEviction(const Entry &entry, EvictReason reason);
+
   private:
     unsigned assoc_;
     std::size_t numSets_;
     std::vector<Entry> entries_;
     std::uint64_t useClock_ = 0;
+    /** Provenance clock (simulated cycles); see advanceTo(). */
+    Cycle now_ = 0;
+    ProvenanceTable prov_;
 };
 
 } // namespace tpre

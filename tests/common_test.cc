@@ -74,6 +74,7 @@ TEST(LoggingTest, FatalCarriesThreadTag)
 {
     EXPECT_EXIT(
         [] {
+            setLogFormat(LogFormat::Text);  // pin the text wire format
             setLogThreadTag("job 7");
             fatal("boom %d", 42);
         }(),

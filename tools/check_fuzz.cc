@@ -11,6 +11,7 @@
  *
  * Usage: check_fuzz [--seeds N] [--seed S] [--max-insts N]
  *                   [--jobs N] [--no-shrink] [--quiet]
+ *                   [--telemetry-port N]
  *   --seeds N      number of cases to run (default 256)
  *   --seed S       first seed (default 1); with --seeds 1 this
  *                  reruns exactly one case, e.g. a reproducer
@@ -20,6 +21,12 @@
  *                  report is identical at any job count
  *   --no-shrink    report the original failing case unshrunk
  *   --quiet        suppress per-case progress output
+ *   --telemetry-port N  serve /metrics /healthz /runs on
+ *                  127.0.0.1:N for the campaign (0 = ephemeral;
+ *                  also TPRE_TELEMETRY_PORT)
+ *
+ * The crash flight recorder is installed by default
+ * (TPRE_FLIGHT_RECORDER=0 opts out).
  */
 
 #include <cstdlib>
@@ -31,6 +38,8 @@
 #include "common/parse.hh"
 #include "isa/disasm.hh"
 #include "par/thread_pool.hh"
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/server.hh"
 
 using namespace tpre;
 
@@ -65,6 +74,19 @@ main(int argc, char **argv)
     check::FuzzOptions opts;
     opts.jobs = par::defaultJobs();
     bool quiet = false;
+    int telemetryPort = -1;
+    auto parsePort = [](const char *text,
+                        const char *what) -> int {
+        if (text && text[0] == '0' && text[1] == '\0')
+            return 0;
+        const std::int64_t v = parsePositiveInt(text, what);
+        if (v > 65535) {
+            std::cerr << what << ": " << v
+                      << " is not a valid TCP port\n";
+            std::exit(2);
+        }
+        return static_cast<int>(v);
+    };
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         auto value = [&]() -> const char * {
@@ -101,11 +123,22 @@ main(int argc, char **argv)
             opts.shrink = false;
         } else if (!std::strcmp(arg, "--quiet")) {
             quiet = true;
+        } else if (!std::strcmp(arg, "--telemetry-port")) {
+            telemetryPort = parsePort(value(), "--telemetry-port");
         } else {
             std::cerr << "unknown option: " << arg << "\n";
             return 2;
         }
     }
+    if (telemetryPort < 0) {
+        if (const char *env = std::getenv("TPRE_TELEMETRY_PORT"))
+            telemetryPort = parsePort(env, "TPRE_TELEMETRY_PORT");
+    }
+
+    telemetry::installFlightRecorder("check_fuzz");
+    telemetry::TelemetryServer telemetry;
+    if (telemetryPort >= 0)
+        telemetry.start(static_cast<std::uint16_t>(telemetryPort));
 
     std::uint64_t done = 0;
     opts.onCase = [&](const check::FuzzCase &c,
