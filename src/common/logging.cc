@@ -133,9 +133,17 @@ vreport(LogLevel level, const char *tag, const char *fmt,
         std::snprintf(num, sizeof(num), "%llu",
                       static_cast<unsigned long long>(logMicros()));
         line += num;
+        // "level" stays within the documented debug|info|warn|error
+        // set; panic/fatal keep their identity in a "kind" field so
+        // NDJSON consumers keying on level never see a fifth value.
         line += ", \"level\": \"";
-        line += tag;
+        line += logLevelName(level);
         line += "\"";
+        if (std::strcmp(tag, logLevelName(level)) != 0) {
+            line += ", \"kind\": \"";
+            line += tag;
+            line += "\"";
+        }
         if (!tLogTag.empty()) {
             line += ", \"thread\": \"";
             appendJsonEscaped(line, tLogTag.c_str());

@@ -12,6 +12,10 @@
  *                   {"ts_us": N, "level": "...", "thread": "...",
  *                    "msg": "..."}
  *
+ * The json "level" field only ever holds debug|info|warn|error;
+ * panic() and fatal() emit level "error" plus a "kind" field
+ * ("panic"/"fatal") so consumers keying on level see a closed set.
+ *
  * TPRE_LOG_LEVEL (debug|info|warn|error, default info) suppresses
  * records below the threshold; panic/fatal are error-level and
  * never suppressed. Both variables are parsed strictly — an

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/tracer.hh"
@@ -17,6 +19,9 @@ namespace
 {
 
 std::string gFlightTag; // NOLINT: set once before handlers fire
+
+/** Hard ceiling on the fatal-signal dump (see flightHandler). */
+constexpr unsigned kFlightDumpTimeoutSecs = 5;
 
 const char *
 signalName(int sig)
@@ -77,7 +82,21 @@ registryJson()
 void
 flightHandler(int sig)
 {
-    writeFlightRecord(signalName(sig));
+    // writeFlightRecord() is deliberately best-effort and not
+    // async-signal-safe (it allocates, walks the registry, does
+    // stdio). Two guards keep that bounded: a re-entry flag so a
+    // second fault inside the dump re-raises immediately, and a
+    // default-action alarm() so a dump wedged on a corrupted heap
+    // (e.g. the fault hit inside malloc) kills the process instead
+    // of converting a detectable crash into an indefinite hang.
+    static volatile std::sig_atomic_t dumping = 0;
+    if (!dumping) {
+        dumping = 1;
+        ::signal(SIGALRM, SIG_DFL);
+        ::alarm(kFlightDumpTimeoutSecs);
+        writeFlightRecord(signalName(sig));
+        ::alarm(0);
+    }
     ::raise(sig); // SA_RESETHAND restored the default action
 }
 

@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -19,18 +20,29 @@ namespace tpre::telemetry
 namespace
 {
 
-/** Write all of @p data, tolerating short writes and EINTR. */
+/**
+ * A client that connects and never sends a request (or stalls
+ * mid-transfer) must not wedge the single serving thread; abandon
+ * it after this long.
+ */
+constexpr int kRequestTimeoutMs = 2000;
+
+/**
+ * Write all of @p data, tolerating short writes and EINTR.
+ * MSG_NOSIGNAL: a scraper that disconnects mid-response must yield
+ * EPIPE here, not a process-killing SIGPIPE.
+ */
 void
 writeAll(int fd, const std::string &data)
 {
     std::size_t off = 0;
     while (off < data.size()) {
-        const ssize_t n =
-            ::write(fd, data.data() + off, data.size() - off);
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            return; // peer went away; nothing to salvage
+            return; // peer gone or stalled past SO_SNDTIMEO
         }
         off += static_cast<std::size_t>(n);
     }
@@ -149,6 +161,13 @@ TelemetryServer::serveLoop()
         const int conn = ::accept(listenFd_, nullptr, nullptr);
         if (conn < 0)
             continue;
+        // Bound the response write: the read side is guarded by
+        // poll() in handleConnection, but send() to a peer that
+        // stops draining would otherwise block forever.
+        const timeval sndTimeout{kRequestTimeoutMs / 1000,
+                                 (kRequestTimeoutMs % 1000) * 1000};
+        ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &sndTimeout,
+                     sizeof(sndTimeout));
         handleConnection(conn);
         ::close(conn);
     }
@@ -163,6 +182,17 @@ TelemetryServer::handleConnection(int fd)
     char buf[2048];
     std::size_t got = 0;
     while (got < sizeof(buf) - 1) {
+        // Wait for request bytes with a timeout, watching the stop
+        // pipe too: a silent or half-open client must neither wedge
+        // the serving thread nor stall stop()/~TelemetryServer.
+        pollfd fds[2];
+        fds[0] = {fd, POLLIN, 0};
+        fds[1] = {wakeFds_[0], POLLIN, 0};
+        const int ready = ::poll(fds, 2, kRequestTimeoutMs);
+        if (ready < 0 && errno == EINTR)
+            continue;
+        if (ready <= 0 || fds[1].revents)
+            return; // timeout, error, or shutdown — abandon request
         const ssize_t n =
             ::read(fd, buf + got, sizeof(buf) - 1 - got);
         if (n < 0 && errno == EINTR)

@@ -13,6 +13,11 @@
  * (Connection: close) — scrapers, curl and CI smoke tests need
  * nothing fancier, and the simulator hot path is never touched:
  * every scrape costs one registry snapshot on the server thread.
+ * Misbehaving clients cannot harm the host process: responses are
+ * sent with MSG_NOSIGNAL (a mid-response disconnect is EPIPE, not
+ * SIGPIPE), and reads/writes are bounded by a short timeout so a
+ * silent or half-open connection is abandoned instead of wedging
+ * the serving thread (and with it stop()/shutdown).
  *
  * Enabled explicitly via --telemetry-port / TPRE_TELEMETRY_PORT;
  * when unset no thread starts and no socket is opened. Port 0

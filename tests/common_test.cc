@@ -81,6 +81,20 @@ TEST(LoggingTest, FatalCarriesThreadTag)
         testing::ExitedWithCode(1), "\\[job 7\\] fatal: boom 42");
 }
 
+TEST(LoggingTest, JsonFatalStaysWithinDocumentedLevelSet)
+{
+    // NDJSON consumers key on the closed debug|info|warn|error set;
+    // fatal()/panic() must report level "error" and carry their
+    // identity in a separate "kind" field.
+    EXPECT_EXIT(
+        [] {
+            setLogFormat(LogFormat::Json);
+            fatal("boom");
+        }(),
+        testing::ExitedWithCode(1),
+        "\"level\": \"error\", \"kind\": \"fatal\"");
+}
+
 TEST(RngTest, DeterministicPerSeed)
 {
     Rng a(42), b(42);

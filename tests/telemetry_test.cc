@@ -248,6 +248,74 @@ TEST(TelemetryServerTest, ScrapeDuringRunJobsSeesTheRun)
     EXPECT_EQ(telemetry::RunRegistry::instance().numRuns(), 0u);
 }
 
+TEST(TelemetryServerTest, SilentClientDoesNotBlockStop)
+{
+    telemetry::TelemetryServer server;
+    server.start(0);
+
+    // A client that connects and never sends a request must not
+    // wedge the serving thread: stop() has to return promptly (the
+    // request poll watches the stop pipe), not hang on join().
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd,
+                        reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    // Let the server accept and enter the request wait.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    const auto start = std::chrono::steady_clock::now();
+    server.stop();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(5));
+    ::close(fd);
+}
+
+TEST(TelemetryServerTest, MidResponseDisconnectDoesNotKillProcess)
+{
+    obs::Counter counter("telemetry_test.disconnect");
+    counter.add();
+
+    telemetry::TelemetryServer server;
+    server.start(0);
+
+    // Scrapers that vanish mid-response (curl --max-time, scrape
+    // timeouts) must surface as EPIPE in the server, not a
+    // process-terminating SIGPIPE. SO_LINGER(0) turns close() into
+    // an immediate RST so the server's send() hits a dead socket.
+    for (int i = 0; i < 20; ++i) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(server.port());
+        if (::connect(fd,
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) < 0) {
+            ::close(fd);
+            continue;
+        }
+        const char req[] =
+            "GET /metrics HTTP/1.1\r\nHost: l\r\n\r\n";
+        (void)!::write(fd, req, sizeof(req) - 1);
+        const linger hardClose{1, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hardClose,
+                     sizeof(hardClose));
+        ::close(fd);
+    }
+
+    // Still alive and serving.
+    const std::string health = httpGet(server.port(), "/healthz");
+    EXPECT_NE(health.find("200 OK"), std::string::npos);
+    server.stop();
+}
+
 TEST(RunRegistryTest, ScopesAppearAndDisappear)
 {
     auto &registry = telemetry::RunRegistry::instance();
