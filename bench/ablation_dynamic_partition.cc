@@ -37,6 +37,8 @@ main(int argc, char **argv)
 {
     bench::Harness harness("ablation_dynamic_partition", argc,
                            argv);
+    if (harness.replaying())
+        return harness.runReplay();
     bench::banner(
         "Dynamic partitioning of trace-cache vs preconstruction "
         "storage (Section 5.1 extension)",

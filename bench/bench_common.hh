@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 #include "check/stats_check.hh"
@@ -81,7 +82,9 @@ verified(const SimResult &r)
  * open the file in Perfetto) and --telemetry-port N (or
  * TPRE_TELEMETRY_PORT: serve /metrics, /healthz and /runs on
  * 127.0.0.1:N for the duration of the run; port 0 picks an
- * ephemeral port). TPRE_HEARTBEAT_SECS=N publishes a progress
+ * ephemeral port) and --replay FILE (replay a recorded `.tpt`
+ * trace through the fast frontend instead of running the binary's
+ * own sweep). TPRE_HEARTBEAT_SECS=N publishes a progress
  * heartbeat every N seconds, and the crash flight recorder is
  * always installed (opt out with TPRE_FLIGHT_RECORDER=0). Times
  * the run, collects verified result rows, and writes
@@ -120,6 +123,42 @@ class Harness
 
     /** Worker threads the binary's sweeps shard over. */
     unsigned jobs() const { return opts_.jobs; }
+
+    /** Was --replay FILE given? The binary should short-circuit:
+     *    if (harness.replaying()) return harness.runReplay();   */
+    bool replaying() const { return !opts_.replay.empty(); }
+
+    /**
+     * Replay the --replay `.tpt` file through the fast frontend
+     * (trace ingestion workflow, README "Trace ingestion & replay"):
+     * no functional execution — the recorded stream drives the fill
+     * unit, trace cache and preconstruction engine directly. The
+     * replayed row is verified and reported like any live row.
+     */
+    int
+    runReplay()
+    {
+        banner("trace replay",
+               "replay reproduces the recorded run's frontend "
+               "behaviour without functional execution");
+        SimConfig cfg;
+        cfg.traceCacheEntries = 256;
+        cfg.preconBufferEntries = 128;
+        // Default to the whole recorded stream; TPRE_INSTS can
+        // still cut the replay short.
+        cfg.maxInsts = runLength(
+            std::numeric_limits<InstCount>::max());
+        const SimResult r = replayTrace(opts_.replay, cfg);
+        std::printf("replayed %s: %s, %llu insts, %llu traces, "
+                    "%.3f misses/KI, %.2f MIPS\n",
+                    opts_.replay.c_str(),
+                    r.config.benchmark.c_str(),
+                    static_cast<unsigned long long>(r.instructions),
+                    static_cast<unsigned long long>(r.traces),
+                    r.missesPerKi, r.mips);
+        record(r);
+        return finish();
+    }
 
     /** Chrome-trace output path ("" when --trace-out not given). */
     const std::string &traceOut() const { return opts_.traceOut; }
@@ -196,20 +235,9 @@ class Harness
         std::string traceOut;
         /** Telemetry port; -1 = disabled, 0 = ephemeral. */
         int telemetryPort = -1;
+        /** `.tpt` file to replay instead of the binary's sweep. */
+        std::string replay;
     };
-
-    /** Parse a TCP port: 0 (ephemeral) .. 65535. */
-    static int
-    parsePort(const char *text, const char *what)
-    {
-        if (text && text[0] == '0' && text[1] == '\0')
-            return 0;
-        const std::int64_t v = parsePositiveInt(text, what);
-        if (v > 65535)
-            fatal("%s: %lld is not a valid TCP port", what,
-                  static_cast<long long>(v));
-        return static_cast<int>(v);
-    }
 
     static Options
     parseCommandLine(int argc, char **argv)
@@ -240,10 +268,18 @@ class Harness
             } else if (arg.rfind("--telemetry-port=", 0) == 0) {
                 opts.telemetryPort =
                     parsePort(arg.c_str() + 17, "--telemetry-port");
+            } else if (arg == "--replay") {
+                if (i + 1 >= argc)
+                    fatal("--replay needs a .tpt file path");
+                opts.replay = argv[++i];
+            } else if (arg.rfind("--replay=", 0) == 0) {
+                opts.replay = arg.substr(9);
+                if (opts.replay.empty())
+                    fatal("--replay needs a .tpt file path");
             } else {
                 fatal("unknown option '%s' (supported: --jobs N, "
-                      "--trace-out FILE, --telemetry-port N; "
-                      "budget via TPRE_INSTS)",
+                      "--trace-out FILE, --telemetry-port N, "
+                      "--replay FILE; budget via TPRE_INSTS)",
                       arg.c_str());
             }
         }

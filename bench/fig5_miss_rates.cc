@@ -25,6 +25,8 @@ int
 main(int argc, char **argv)
 {
     bench::Harness harness("fig5_miss_rates", argc, argv);
+    if (harness.replaying())
+        return harness.runReplay();
     bench::banner(
         "Figure 5: trace cache misses per 1000 instructions vs "
         "combined size",

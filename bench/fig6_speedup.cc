@@ -34,6 +34,8 @@ int
 main(int argc, char **argv)
 {
     bench::Harness harness("fig6_speedup", argc, argv);
+    if (harness.replaying())
+        return harness.runReplay();
     bench::banner(
         "Figure 6: speedup from preconstruction (timing model)",
         "gcc/go/perl/vortex gain 3-10%; equal-area TC+buffer "

@@ -40,6 +40,8 @@ int
 main(int argc, char **argv)
 {
     bench::Harness harness("fig8_extended_pipeline", argc, argv);
+    if (harness.replaying())
+        return harness.runReplay();
     bench::banner(
         "Figure 8: speedup from the extended pipeline model "
         "(precon, preprocessing, both)",

@@ -14,6 +14,8 @@ int
 main(int argc, char **argv)
 {
     bench::Harness harness("table1_icache_supply", argc, argv);
+    if (harness.replaying())
+        return harness.runReplay();
     bench::banner(
         "Table 1: instructions supplied by the I-cache (per 1000 "
         "instructions)",

@@ -15,6 +15,8 @@ int
 main(int argc, char **argv)
 {
     bench::Harness harness("table2_icache_misses", argc, argv);
+    if (harness.replaying())
+        return harness.runReplay();
     bench::banner(
         "Table 2: I-cache misses (per 1000 instructions)",
         "gcc: 3.0 -> 6.2, go: 7.8 -> 11 (preconstruction roughly "

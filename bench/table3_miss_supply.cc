@@ -15,6 +15,8 @@ int
 main(int argc, char **argv)
 {
     bench::Harness harness("table3_miss_supply", argc, argv);
+    if (harness.replaying())
+        return harness.runReplay();
     bench::banner(
         "Table 3: instructions supplied by I-cache misses (per "
         "1000 instructions)",

@@ -5,6 +5,9 @@
 #include "check/stats_check.hh"
 #include "isa/disasm.hh"
 #include "trace/fill_unit.hh"
+#include "tracefmt/reader.hh"
+#include "tracefmt/replay.hh"
+#include "tracefmt/writer.hh"
 
 namespace tpre::check
 {
@@ -228,6 +231,7 @@ diffModels(const Program &program, const DiffConfig &cfg)
     }
 
     // --- FastSim -------------------------------------------------
+    FastSimStats liveStats;
     {
         Observed obs;
         FastSimConfig fcfg;
@@ -281,6 +285,70 @@ diffModels(const Program &program, const DiffConfig &cfg)
                 result.failure = f;
                 return result;
             }
+        }
+        liveStats = stats;
+    }
+
+    // --- .tpt codec round trip and replay equality ---------------
+    // The committed stream was just shown identical to ref.stream,
+    // so encoding the reference stream encodes exactly what the
+    // live frontend saw.
+    {
+        tracefmt::TptWriter writer(program);
+        for (const DynInst &dyn : ref.stream)
+            writer.add(dyn);
+        const std::string bytes = writer.finish();
+
+        // encode ∘ decode must be the identity on the stream...
+        tracefmt::TptReader reader(bytes);
+        std::vector<DynInst> decoded;
+        decoded.reserve(ref.stream.size());
+        DynInst dyn;
+        while (reader.next(dyn))
+            decoded.push_back(dyn);
+        if (!reader.ok()) {
+            result.failure = "tpt-decode: " + reader.error();
+            return result;
+        }
+        if (auto f = compareStreams("tpt", ref.stream, decoded,
+                                    true)) {
+            result.failure = f;
+            return result;
+        }
+
+        // ...and re-encoding the decoded stream must reproduce the
+        // file byte for byte (the format is canonical).
+        tracefmt::TptWriter rewriter(program);
+        for (const DynInst &d : decoded)
+            rewriter.add(d);
+        if (rewriter.finish() != bytes) {
+            result.failure =
+                "tpt-reencode: re-encoding the decoded stream does "
+                "not reproduce the file byte for byte";
+            return result;
+        }
+
+        // Replaying the recorded stream through a fresh frontend
+        // must reproduce the live run's statistics field by field.
+        tracefmt::TptReader replayReader(bytes);
+        FastSimConfig rcfg;
+        rcfg.traceCacheEntries = cfg.traceCacheEntries;
+        rcfg.traceCacheAssoc = cfg.traceCacheAssoc;
+        rcfg.selection = cfg.selection;
+        rcfg.preconEnabled = cfg.preconEnabled;
+        rcfg.precon = cfg.precon;
+        tracefmt::ReplayFrontend frontend(replayReader, rcfg);
+        const tracefmt::ReplayStats &replayed =
+            frontend.run(cfg.maxInsts);
+        if (!frontend.ok()) {
+            result.failure = "tpt-replay: " + frontend.error();
+            return result;
+        }
+        if (auto f = prefixed("tpt-replay",
+                              fastStatsEqual(liveStats,
+                                             replayed.fast))) {
+            result.failure = f;
+            return result;
         }
     }
 

@@ -1,6 +1,9 @@
 #include "check/stats_check.hh"
 
 #include <sstream>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 namespace tpre::check
 {
@@ -84,6 +87,112 @@ statsConserved(const FastSimStats &s)
     if (Violation v = icacheStatsSane(s.icache))
         return v;
     return preconStatsSane(s.precon);
+}
+
+Violation
+fastStatsEqual(const FastSimStats &live,
+               const FastSimStats &replayed)
+{
+    // Walk every counter; report the first mismatch by name so a
+    // replay divergence pinpoints the stray field immediately.
+    std::vector<std::tuple<const char *, std::uint64_t,
+                           std::uint64_t>>
+        fields = {
+            {"instructions", live.instructions,
+             replayed.instructions},
+            {"cycles", live.cycles, replayed.cycles},
+            {"traces", live.traces, replayed.traces},
+            {"tcHits", live.tcHits, replayed.tcHits},
+            {"pbHits", live.pbHits, replayed.pbHits},
+            {"tcMisses", live.tcMisses, replayed.tcMisses},
+            {"slowPathInsts", live.slowPathInsts,
+             replayed.slowPathInsts},
+            {"slowPathInstsFromMisses",
+             live.slowPathInstsFromMisses,
+             replayed.slowPathInstsFromMisses},
+            {"traceWorkingSet", live.traceWorkingSet,
+             replayed.traceWorkingSet},
+            {"missFirstSeen", live.missFirstSeen,
+             replayed.missFirstSeen},
+            {"missRepeat", live.missRepeat, replayed.missRepeat},
+            {"missEverConstructed", live.missEverConstructed,
+             replayed.missEverConstructed},
+            {"icache.demandAccesses", live.icache.demandAccesses,
+             replayed.icache.demandAccesses},
+            {"icache.demandMisses", live.icache.demandMisses,
+             replayed.icache.demandMisses},
+            {"icache.preconAccesses", live.icache.preconAccesses,
+             replayed.icache.preconAccesses},
+            {"icache.preconMisses", live.icache.preconMisses,
+             replayed.icache.preconMisses},
+            {"precon.startPointsPushed",
+             live.precon.startPointsPushed,
+             replayed.precon.startPointsPushed},
+            {"precon.regionsStarted", live.precon.regionsStarted,
+             replayed.precon.regionsStarted},
+            {"precon.regionsCompleted",
+             live.precon.regionsCompleted,
+             replayed.precon.regionsCompleted},
+            {"precon.regionsCaughtUp", live.precon.regionsCaughtUp,
+             replayed.precon.regionsCaughtUp},
+            {"precon.regionsPrefetchFull",
+             live.precon.regionsPrefetchFull,
+             replayed.precon.regionsPrefetchFull},
+            {"precon.regionsBuffersFull",
+             live.precon.regionsBuffersFull,
+             replayed.precon.regionsBuffersFull},
+            {"precon.regionsWarm", live.precon.regionsWarm,
+             replayed.precon.regionsWarm},
+            {"precon.tracesConstructed",
+             live.precon.tracesConstructed,
+             replayed.precon.tracesConstructed},
+            {"precon.tracesBuffered", live.precon.tracesBuffered,
+             replayed.precon.tracesBuffered},
+            {"precon.tracesAlreadyInTc",
+             live.precon.tracesAlreadyInTc,
+             replayed.precon.tracesAlreadyInTc},
+            {"precon.bufferHits", live.precon.bufferHits,
+             replayed.precon.bufferHits},
+            {"precon.linesFetched", live.precon.linesFetched,
+             replayed.precon.linesFetched},
+        };
+
+    for (std::size_t i = 0; i < kNumOrigins; ++i) {
+        const auto origin = static_cast<TraceOrigin>(i);
+        const OriginProvenance &a = live.provenance.of(origin);
+        const OriginProvenance &b = replayed.provenance.of(origin);
+        const std::string prefix =
+            std::string("provenance.") + traceOriginName(origin) +
+            ".";
+        const std::pair<const char *, std::pair<std::uint64_t,
+                                                std::uint64_t>>
+            rows[] = {
+                {"builds", {a.builds, b.builds}},
+                {"hits", {a.hits, b.hits}},
+                {"firstUses", {a.firstUses, b.firstUses}},
+                {"firstUseLatencySum",
+                 {a.firstUseLatencySum, b.firstUseLatencySum}},
+                {"evictCapacity", {a.evictCapacity, b.evictCapacity}},
+                {"evictRefresh", {a.evictRefresh, b.evictRefresh}},
+                {"evictInvalidate",
+                 {a.evictInvalidate, b.evictInvalidate}},
+                {"evictClear", {a.evictClear, b.evictClear}},
+                {"evictedUnused", {a.evictedUnused, b.evictedUnused}},
+            };
+        for (const auto &[name, vals] : rows) {
+            if (vals.first != vals.second)
+                return fail(prefix + name + " diverges: live " +
+                            num(vals.first) + ", replay " +
+                            num(vals.second));
+        }
+    }
+
+    for (const auto &[name, a, b] : fields) {
+        if (a != b)
+            return fail(std::string(name) + " diverges: live " +
+                        num(a) + ", replay " + num(b));
+    }
+    return std::nullopt;
 }
 
 Violation

@@ -27,6 +27,16 @@ Violation preconStatsSane(const PreconstructionEngine::Stats &s);
 /** Conservation across a finished FastSim run. */
 Violation statsConserved(const FastSimStats &s);
 
+/**
+ * Field-by-field equality of two FastSim runs — every counter,
+ * including the I-cache, preconstruction and provenance breakdowns.
+ * This is the oracle behind trace replay: a `.tpt` replay of the
+ * stream a live run committed must reproduce its statistics
+ * exactly. The violation names the first differing field.
+ */
+Violation fastStatsEqual(const FastSimStats &live,
+                         const FastSimStats &replayed);
+
 /** Conservation across a finished TraceProcessor run. */
 Violation statsConserved(const ProcessorStats &s);
 

@@ -36,4 +36,18 @@ parseJobs(const char *text, const char *what)
     return static_cast<unsigned>(value);
 }
 
+int
+parsePort(const char *text, const char *what)
+{
+    // "0" means "pick an ephemeral port" and is the one value
+    // parsePositiveInt would reject.
+    if (text && text[0] == '0' && text[1] == '\0')
+        return 0;
+    const std::int64_t value = parsePositiveInt(text, what);
+    if (value > 65535)
+        fatal("%s: %lld is not a valid TCP port", what,
+              static_cast<long long>(value));
+    return static_cast<int>(value);
+}
+
 } // namespace tpre

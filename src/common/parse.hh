@@ -28,6 +28,14 @@ std::int64_t parsePositiveInt(const char *text, const char *what);
  */
 unsigned parseJobs(const char *text, const char *what);
 
+/**
+ * Parse a TCP port for --telemetry-port / TPRE_TELEMETRY_PORT:
+ * 0 (ephemeral) through 65535. Calls fatal() naming @p what on
+ * non-numeric input, trailing garbage ("8e3"), negatives, or
+ * values above 65535 — never silently truncates.
+ */
+int parsePort(const char *text, const char *what);
+
 } // namespace tpre
 
 #endif // TPRE_COMMON_PARSE_HH

@@ -45,6 +45,14 @@ struct SimConfig
     /** Extra preconstruction knobs (ablations). */
     PreconConfig precon;
 
+    /**
+     * When non-empty (Fast mode only), dump the run's committed
+     * dynamic stream as a `.tpt` trace file at this path (see
+     * DESIGN.md section 13). The dump taps the commit hook, so it
+     * records exactly the stream the frontend processed.
+     */
+    std::string tptDump;
+
     /** Derived configuration for the fast frontend simulator. */
     FastSimConfig toFastConfig() const;
     /** Derived configuration for the timing simulator. */

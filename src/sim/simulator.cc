@@ -1,11 +1,69 @@
 #include "sim/simulator.hh"
 
 #include <chrono>
+#include <utility>
 
+#include "common/logging.hh"
 #include "obs/obs.hh"
+#include "tracefmt/replay.hh"
+#include "tracefmt/writer.hh"
 
 namespace tpre
 {
+
+SimResult
+makeFastResult(const SimConfig &config, const FastSimStats &st)
+{
+    SimResult result;
+    result.config = config;
+    result.instructions = st.instructions;
+    result.cycles = st.cycles;
+    result.traces = st.traces;
+    result.tcMisses = st.tcMisses;
+    result.pbHits = st.pbHits;
+    result.missesPerKi = st.missesPerKiloInst();
+    const double ki = static_cast<double>(st.instructions) / 1000.0;
+    if (ki > 0) {
+        result.icacheSupplyPerKi =
+            static_cast<double>(st.slowPathInsts) / ki;
+        result.icacheMissesPerKi =
+            static_cast<double>(st.icache.totalMisses()) / ki;
+        result.icacheMissSupplyPerKi =
+            static_cast<double>(st.slowPathInstsFromMisses) / ki;
+    }
+    result.precon = st.precon;
+    result.provenance = st.provenance;
+    return result;
+}
+
+SimResult
+replayTrace(const std::string &tptPath, SimConfig config)
+{
+    tracefmt::TptReader reader =
+        tracefmt::TptReader::fromFile(tptPath);
+    if (!reader.ok())
+        fatal("replay %s: %s", tptPath.c_str(),
+              reader.error().c_str());
+
+    config.mode = SimMode::Fast;
+    if (!reader.meta().benchmark.empty())
+        config.benchmark = reader.meta().benchmark;
+    config.workloadSeed = reader.meta().seed;
+
+    TPRE_OBS_WALL_SPAN("sim", "replay");
+    TPRE_OBS_COUNT("sim.replays");
+    tracefmt::ReplayFrontend frontend(reader, config.toFastConfig());
+    const tracefmt::ReplayStats &rs = frontend.run(config.maxInsts);
+    if (!frontend.ok())
+        fatal("replay %s: %s", tptPath.c_str(),
+              frontend.error().c_str());
+
+    SimResult result = makeFastResult(config, rs.fast);
+    result.wallSeconds = rs.wallSeconds;
+    result.mips = rs.mips();
+    TPRE_OBS_COUNT("sim.instructions", result.instructions);
+    return result;
+}
 
 const GeneratedWorkload &
 Simulator::workload(const std::string &benchmark,
@@ -46,28 +104,43 @@ Simulator::run(const SimConfig &config)
     const auto start = std::chrono::steady_clock::now();
 
     if (config.mode == SimMode::Fast) {
-        FastSim sim(wl.program, config.toFastConfig());
-        const FastSimStats &st = sim.run(config.maxInsts);
-        result.instructions = st.instructions;
-        result.cycles = st.cycles;
-        result.traces = st.traces;
-        result.tcMisses = st.tcMisses;
-        result.pbHits = st.pbHits;
-        result.missesPerKi = st.missesPerKiloInst();
-        const double ki =
-            static_cast<double>(st.instructions) / 1000.0;
-        if (ki > 0) {
-            result.icacheSupplyPerKi =
-                static_cast<double>(st.slowPathInsts) / ki;
-            result.icacheMissesPerKi =
-                static_cast<double>(st.icache.totalMisses()) / ki;
-            result.icacheMissSupplyPerKi =
-                static_cast<double>(st.slowPathInstsFromMisses) /
-                ki;
+        FastSimConfig fcfg = config.toFastConfig();
+
+        // Trace dump: tap the commit hook so the file records
+        // exactly the stream the frontend processed.
+        std::unique_ptr<tracefmt::TptWriter> dump;
+        if (!config.tptDump.empty()) {
+            dump = std::make_unique<tracefmt::TptWriter>(
+                wl.program,
+                tracefmt::TptMeta{config.benchmark,
+                                  config.workloadSeed});
+            auto chained = std::move(fcfg.hooks.onCommit);
+            fcfg.hooks.onCommit = [&dump, chained](
+                                      const DynInst &dyn) {
+                dump->add(dyn);
+                if (chained)
+                    chained(dyn);
+            };
         }
-        result.precon = st.precon;
-        result.provenance = st.provenance;
+
+        FastSim sim(wl.program, fcfg);
+        const FastSimStats &st = sim.run(config.maxInsts);
+        result = makeFastResult(config, st);
+
+        if (dump) {
+            if (!tracefmt::writeFileBytes(config.tptDump,
+                                          dump->finish()))
+                fatal("cannot write trace dump %s",
+                      config.tptDump.c_str());
+            inform("wrote %llu-instruction trace to %s",
+                   static_cast<unsigned long long>(
+                       st.instructions),
+                   config.tptDump.c_str());
+        }
     } else {
+        if (!config.tptDump.empty())
+            warn("tptDump is only supported in Fast mode; "
+                 "ignoring %s", config.tptDump.c_str());
         TraceProcessor proc(wl.program,
                             config.toProcessorConfig());
         const ProcessorStats &st = proc.run(config.maxInsts);

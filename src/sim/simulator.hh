@@ -59,6 +59,24 @@ struct SimResult
 };
 
 /**
+ * Map a finished fast-frontend run's statistics into a SimResult.
+ * Shared by Simulator::run (live) and replayTrace (from a `.tpt`
+ * file); wallSeconds/mips are left for the caller to stamp.
+ */
+SimResult makeFastResult(const SimConfig &config,
+                         const FastSimStats &stats);
+
+/**
+ * Replay a `.tpt` trace file through the fast frontend: no
+ * functional execution, no workload generation — the file's
+ * embedded program and recorded stream drive the fill unit, trace
+ * cache and preconstruction engine directly. @p config supplies
+ * the frontend sizing; benchmark/seed are taken from the file's
+ * metadata. Exits via fatal() on an unreadable or corrupt file.
+ */
+SimResult replayTrace(const std::string &tptPath, SimConfig config);
+
+/**
  * Runs experiments, caching generated workloads. Thread-safe: the
  * parallel sweep engine shares one Simulator across all workers so
  * each (benchmark, seed) program is generated exactly once. Cache

@@ -191,13 +191,46 @@ FastSim::run(InstCount maxInsts)
         window.clear();
     }
 
+    finishRun();
+    return stats_;
+}
+
+const FastSimStats &
+FastSim::replay(DynInstSource &source, InstCount maxInsts)
+{
+    std::vector<DynInst> window;
+    window.reserve(maxTraceLen);
+
+    // Mirror run()'s loop exactly — same segmentation, same trace
+    // processing — with the recorded stream standing in for the
+    // functional core.
+    DynInst dyn;
+    while (stats_.instructions < maxInsts && source.next(dyn)) {
+        window.push_back(dyn);
+        if (auto trace = segmenter_.feed(dyn)) {
+            processTrace(window, std::move(*trace), false);
+            window.clear();
+        }
+    }
+
+    if (auto trace = segmenter_.flush()) {
+        processTrace(window, std::move(*trace), true);
+        window.clear();
+    }
+
+    finishRun();
+    return stats_;
+}
+
+void
+FastSim::finishRun()
+{
     stats_.icache = icache_.stats();
     if (engine_)
         stats_.precon = engine_->stats();
     stats_.provenance = traceCache_.provenance();
     tpre_check_run(check::enforce(check::statsConserved(stats_),
                                   "FastSim end of run"));
-    return stats_;
 }
 
 } // namespace tpre

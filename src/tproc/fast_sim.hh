@@ -96,6 +96,19 @@ struct FastSimStats
     }
 };
 
+/**
+ * Abstract producer of a committed dynamic instruction stream, the
+ * contract between FastSim::replay() and trace-file decoders
+ * (tracefmt::ReplayFrontend). next() yields instructions in commit
+ * order and returns false at end of stream.
+ */
+class DynInstSource
+{
+  public:
+    virtual ~DynInstSource() = default;
+    virtual bool next(DynInst &out) = 0;
+};
+
 /** Frontend-only trace processor simulation. */
 class FastSim
 {
@@ -109,6 +122,16 @@ class FastSim
      */
     const FastSimStats &run(InstCount maxInsts);
 
+    /**
+     * Drive the frontend from a pre-recorded committed stream
+     * instead of the functional core: segmentation, trace cache,
+     * preconstruction and predictor training all take the exact
+     * same path as run(), so replaying the stream a live run
+     * committed reproduces its statistics field by field.
+     */
+    const FastSimStats &replay(DynInstSource &source,
+                               InstCount maxInsts);
+
     const FastSimStats &stats() const { return stats_; }
 
     /** Diagnostics: {|buffered ∩ dispatched|, |buffered|}. */
@@ -121,6 +144,8 @@ class FastSim
   private:
     void processTrace(const std::vector<DynInst> &window,
                       Trace &&trace, bool partial);
+    /** Shared run()/replay() epilogue: copy stats, check them. */
+    void finishRun();
 
     const Program &program_;
     FastSimConfig config_;

@@ -1,0 +1,416 @@
+#include "tracefmt/reader.hh"
+
+#include <cstring>
+#include <sstream>
+
+#include "obs/obs.hh"
+
+namespace tpre::tracefmt
+{
+
+namespace
+{
+
+std::string
+hexAddr(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+} // namespace
+
+TptReader::TptReader(std::string bytes) : bytes_(std::move(bytes))
+{
+    parseHeader();
+}
+
+TptReader
+TptReader::fromFile(const std::string &path)
+{
+    std::string bytes;
+    if (!readFileBytes(path, bytes)) {
+        TptReader reader{std::string()};
+        reader.error_ = "cannot read " + path;
+        return reader;
+    }
+    return TptReader(std::move(bytes));
+}
+
+bool
+TptReader::fail(const std::string &why)
+{
+    if (error_.empty())
+        error_ = why;
+    return false;
+}
+
+void
+TptReader::parseHeader()
+{
+    if (bytes_.size() < sizeof(kMagic)) {
+        fail("truncated file: shorter than the magic");
+        return;
+    }
+    if (std::memcmp(bytes_.data(), kMagic, sizeof(kMagic)) != 0) {
+        fail("bad magic: not a .tpt file");
+        return;
+    }
+
+    std::size_t pos = sizeof(kMagic);
+    std::uint64_t seed = 0;
+    if (!getU16(bytes_, pos, header_.version) ||
+        !getU16(bytes_, pos, header_.flags) ||
+        !getU32(bytes_, pos, header_.chunkInsts) ||
+        !getU64(bytes_, pos, header_.base) ||
+        !getU64(bytes_, pos, header_.entry) ||
+        !getU64(bytes_, pos, header_.numWords) ||
+        !getU64(bytes_, pos, header_.dynCount) ||
+        !getU64(bytes_, pos, seed)) {
+        fail("truncated file: incomplete header");
+        return;
+    }
+    meta_.seed = seed;
+
+    if (header_.version != kVersion) {
+        std::ostringstream os;
+        os << "unsupported version " << header_.version
+           << " (this reader understands version " << kVersion
+           << ")";
+        fail(os.str());
+        return;
+    }
+    if (header_.flags & ~kKnownFlags) {
+        fail("unknown header flags: refusing to guess at the "
+             "record stream");
+        return;
+    }
+    if (header_.chunkInsts == 0) {
+        fail("corrupt header: chunkInsts is zero");
+        return;
+    }
+
+    if (pos >= bytes_.size()) {
+        fail("truncated file: missing benchmark name");
+        return;
+    }
+    const std::size_t nameLen =
+        static_cast<std::uint8_t>(bytes_[pos++]);
+    if (bytes_.size() - pos < nameLen) {
+        fail("truncated file: benchmark name cut short");
+        return;
+    }
+    meta_.benchmark = bytes_.substr(pos, nameLen);
+    pos += nameLen;
+
+    std::uint32_t headerCrc = 0;
+    const std::size_t crcPos = pos;
+    if (!getU32(bytes_, pos, headerCrc)) {
+        fail("truncated file: missing header CRC");
+        return;
+    }
+    if (crc32(bytes_.data(), crcPos) != headerCrc) {
+        fail("header CRC mismatch");
+        return;
+    }
+
+    // Program section. Validate everything the Program constructor
+    // asserts, so hostile input gets an error instead of an abort.
+    if (header_.numWords == 0) {
+        fail("corrupt header: empty program image");
+        return;
+    }
+    if (header_.numWords > (bytes_.size() - pos) / 4) {
+        fail("truncated file: program section cut short");
+        return;
+    }
+    if (header_.base % instBytes != 0) {
+        fail("corrupt header: misaligned code base");
+        return;
+    }
+    const Addr end =
+        header_.base + header_.numWords * instBytes;
+    if (end <= header_.base) {
+        fail("corrupt header: program image wraps the address "
+             "space");
+        return;
+    }
+    if (header_.entry < header_.base || header_.entry >= end ||
+        header_.entry % instBytes != 0) {
+        fail("corrupt header: entry point outside the image");
+        return;
+    }
+
+    const std::size_t progStart = pos;
+    std::vector<InstWord> code;
+    code.reserve(header_.numWords);
+    for (std::uint64_t i = 0; i < header_.numWords; ++i) {
+        std::uint32_t word = 0;
+        getU32(bytes_, pos, word);
+        code.push_back(word);
+    }
+    std::uint32_t progCrc = 0;
+    if (!getU32(bytes_, pos, progCrc)) {
+        fail("truncated file: missing program CRC");
+        return;
+    }
+    if (crc32(bytes_.data() + progStart, header_.numWords * 4) !=
+        progCrc) {
+        fail("program section CRC mismatch");
+        return;
+    }
+
+    program_.emplace(header_.base, std::move(code), header_.entry);
+    pc_ = header_.entry;
+    chunkCursor_ = pos;
+    TPRE_OBS_COUNT("tpt.decode.bytes", bytes_.size());
+}
+
+bool
+TptReader::openChunk()
+{
+    // Leftover per-chunk decode state at a chunk boundary means the
+    // record stream and the instruction walk disagree.
+    if (tntLeft_ != 0 || pendingTarget_ || pendingEffAddr_)
+        return fail("record stream desync: unconsumed records at "
+                    "chunk boundary");
+    if (payloadPos_ != payloadEnd_)
+        return fail("record stream desync: unread payload at chunk "
+                    "boundary");
+
+    std::size_t pos = chunkCursor_;
+    std::uint32_t payloadBytes = 0;
+    std::uint32_t instCount = 0;
+    if (!getU32(bytes_, pos, payloadBytes) ||
+        !getU32(bytes_, pos, instCount))
+        return fail("truncated file: incomplete chunk frame");
+    if (bytes_.size() - pos < payloadBytes)
+        return fail("truncated file: chunk payload cut short");
+
+    const std::uint64_t left = header_.dynCount - decoded_;
+    const std::uint64_t want =
+        std::min<std::uint64_t>(header_.chunkInsts, left);
+    if (instCount != want)
+        return fail("corrupt chunk: non-canonical instruction "
+                    "count");
+
+    const std::size_t payloadStart = pos;
+    pos += payloadBytes;
+    std::uint32_t storedCrc = 0;
+    if (!getU32(bytes_, pos, storedCrc))
+        return fail("truncated file: missing chunk CRC");
+    if (crc32(bytes_.data() + payloadStart, payloadBytes) !=
+        storedCrc)
+        return fail("chunk CRC mismatch");
+
+    payloadPos_ = payloadStart;
+    payloadEnd_ = payloadStart + payloadBytes;
+    chunkCursor_ = pos;
+    chunkInstsLeft_ = instCount;
+    ++counts_.chunks;
+    TPRE_OBS_COUNT("tpt.decode.chunks");
+
+    // Every chunk opens with a Sync whose PC must match the walk.
+    if (payloadPos_ >= payloadEnd_)
+        return fail("corrupt chunk: empty payload");
+    const auto tag = static_cast<RecordTag>(
+        static_cast<std::uint8_t>(bytes_[payloadPos_]));
+    ++payloadPos_;
+    if (tag != RecordTag::Sync)
+        return fail("corrupt chunk: payload does not open with a "
+                    "sync record");
+    std::uint64_t syncPc = 0;
+    if (!getVarint(bytes_, payloadPos_, syncPc) ||
+        payloadPos_ > payloadEnd_)
+        return fail("truncated sync record");
+    if (syncPc != pc_)
+        return fail("sync record names " + hexAddr(syncPc) +
+                    " but the instruction walk is at " +
+                    hexAddr(pc_));
+    ++counts_.sync;
+    lastTarget_ = syncPc;
+    lastEffAddr_ = 0;
+    return true;
+}
+
+bool
+TptReader::readRecord()
+{
+    if (payloadPos_ >= payloadEnd_)
+        return fail("record stream desync: chunk payload exhausted "
+                    "mid-instruction");
+    const auto tag = static_cast<RecordTag>(
+        static_cast<std::uint8_t>(bytes_[payloadPos_]));
+    ++payloadPos_;
+    switch (tag) {
+      case RecordTag::Tnt: {
+        if (payloadPos_ >= payloadEnd_)
+            return fail("truncated TNT record");
+        const unsigned count =
+            static_cast<std::uint8_t>(bytes_[payloadPos_++]);
+        if (count == 0 || count > kTntMaxBits)
+            return fail("corrupt TNT record: bad bit count");
+        const unsigned nbytes = (count + 7) / 8;
+        if (payloadEnd_ - payloadPos_ < nbytes)
+            return fail("truncated TNT record");
+        std::uint64_t bits = 0;
+        for (unsigned i = 0; i < nbytes; ++i)
+            bits |= std::uint64_t(static_cast<std::uint8_t>(
+                        bytes_[payloadPos_ + i]))
+                    << (8 * i);
+        payloadPos_ += nbytes;
+        tntBits_ = bits;
+        tntLeft_ = count;
+        ++counts_.tnt;
+        counts_.tntBits += count;
+        break;
+      }
+      case RecordTag::IndirectTarget: {
+        std::uint64_t delta = 0;
+        if (!getVarint(bytes_, payloadPos_, delta) ||
+            payloadPos_ > payloadEnd_)
+            return fail("truncated indirect-target record");
+        const Addr target =
+            lastTarget_ +
+            static_cast<Addr>(unzigzag(delta));
+        lastTarget_ = target;
+        pendingTarget_ = target;
+        ++counts_.indirect;
+        break;
+      }
+      case RecordTag::EffAddr: {
+        if (!header_.hasEffAddr())
+            return fail("EffAddr record in a stream whose header "
+                        "does not announce one");
+        std::uint64_t delta = 0;
+        if (!getVarint(bytes_, payloadPos_, delta) ||
+            payloadPos_ > payloadEnd_)
+            return fail("truncated effective-address record");
+        const Addr ea =
+            lastEffAddr_ +
+            static_cast<Addr>(unzigzag(delta));
+        lastEffAddr_ = ea;
+        pendingEffAddr_ = ea;
+        ++counts_.effAddr;
+        break;
+      }
+      case RecordTag::Sync:
+        return fail("unexpected sync record inside a chunk");
+      default:
+        return fail("unknown record tag");
+    }
+    return true;
+}
+
+bool
+TptReader::nextTntBit(bool &taken)
+{
+    while (tntLeft_ == 0) {
+        if (!readRecord())
+            return false;
+        if (pendingTarget_ || pendingEffAddr_)
+            return fail("record stream desync: expected a TNT "
+                        "record");
+    }
+    taken = tntBits_ & 1;
+    tntBits_ >>= 1;
+    --tntLeft_;
+    return true;
+}
+
+bool
+TptReader::nextIndirectTarget(Addr &target)
+{
+    while (!pendingTarget_) {
+        if (!readRecord())
+            return false;
+        if (tntLeft_ != 0 || pendingEffAddr_)
+            return fail("record stream desync: expected an "
+                        "indirect-target record");
+    }
+    target = *pendingTarget_;
+    pendingTarget_.reset();
+    return true;
+}
+
+bool
+TptReader::nextEffAddr(Addr &ea)
+{
+    while (!pendingEffAddr_) {
+        if (!readRecord())
+            return false;
+        if (tntLeft_ != 0 || pendingTarget_)
+            return fail("record stream desync: expected an "
+                        "effective-address record");
+    }
+    ea = *pendingEffAddr_;
+    pendingEffAddr_.reset();
+    return true;
+}
+
+bool
+TptReader::next(DynInst &out)
+{
+    if (!ok() || decoded_ >= header_.dynCount)
+        return false;
+    if (halted_)
+        return fail("stream continues past the halt instruction");
+
+    if (chunkInstsLeft_ == 0 && !openChunk())
+        return false;
+
+    if (!program_->contains(pc_))
+        return fail("control flow leaves the embedded image at " +
+                    hexAddr(pc_));
+    const Instruction &inst = program_->instAt(pc_);
+
+    out.pc = pc_;
+    out.inst = inst;
+    out.taken = false;
+    out.effAddr = 0;
+
+    if (header_.hasEffAddr() &&
+        (inst.isLoad() || inst.isStore()) &&
+        !nextEffAddr(out.effAddr))
+        return false;
+
+    if (inst.isCondBranch()) {
+        if (!nextTntBit(out.taken))
+            return false;
+        out.nextPc = out.taken ? inst.targetOf(pc_)
+                               : Instruction::fallThrough(pc_);
+    } else if (inst.isDirectJump()) {
+        out.taken = true;
+        out.nextPc = inst.targetOf(pc_);
+    } else if (inst.isIndirectJump()) {
+        out.taken = true;
+        if (!nextIndirectTarget(out.nextPc))
+            return false;
+    } else if (inst.op == Opcode::Halt) {
+        out.nextPc = pc_;
+        halted_ = true;
+    } else {
+        out.nextPc = Instruction::fallThrough(pc_);
+    }
+
+    pc_ = out.nextPc;
+    ++decoded_;
+    --chunkInstsLeft_;
+    TPRE_OBS_COUNT("tpt.decode.insts");
+
+    // End-of-stream integrity: the final chunk must be spent to the
+    // byte and nothing may trail it.
+    if (decoded_ == header_.dynCount) {
+        if (tntLeft_ != 0 || pendingTarget_ || pendingEffAddr_ ||
+            payloadPos_ != payloadEnd_ || chunkInstsLeft_ != 0) {
+            fail("record stream desync: leftover records at end of "
+                 "stream");
+        } else if (chunkCursor_ != bytes_.size()) {
+            fail("trailing garbage after the final chunk");
+        }
+    }
+    return true;
+}
+
+} // namespace tpre::tracefmt

@@ -1,0 +1,174 @@
+#include "tracefmt/tpt.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace tpre::tracefmt
+{
+
+void
+putU16(std::string &out, std::uint16_t value)
+{
+    out.push_back(static_cast<char>(value & 0xff));
+    out.push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t value)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+}
+
+void
+putVarint(std::string &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<char>(0x80 | (value & 0x7f)));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
+
+std::uint64_t
+zigzag(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+namespace
+{
+
+inline std::uint8_t
+byteAt(const std::string &bytes, std::size_t pos)
+{
+    return static_cast<std::uint8_t>(bytes[pos]);
+}
+
+} // namespace
+
+bool
+getU16(const std::string &bytes, std::size_t &pos,
+       std::uint16_t &value)
+{
+    if (bytes.size() - pos < 2 || pos > bytes.size())
+        return false;
+    value = static_cast<std::uint16_t>(
+        byteAt(bytes, pos) | (byteAt(bytes, pos + 1) << 8));
+    pos += 2;
+    return true;
+}
+
+bool
+getU32(const std::string &bytes, std::size_t &pos,
+       std::uint32_t &value)
+{
+    if (pos > bytes.size() || bytes.size() - pos < 4)
+        return false;
+    value = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        value |= std::uint32_t(byteAt(bytes, pos + i)) << (8 * i);
+    pos += 4;
+    return true;
+}
+
+bool
+getU64(const std::string &bytes, std::size_t &pos,
+       std::uint64_t &value)
+{
+    if (pos > bytes.size() || bytes.size() - pos < 8)
+        return false;
+    value = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        value |= std::uint64_t(byteAt(bytes, pos + i)) << (8 * i);
+    pos += 8;
+    return true;
+}
+
+bool
+getVarint(const std::string &bytes, std::size_t &pos,
+          std::uint64_t &value)
+{
+    std::uint64_t result = 0;
+    unsigned shift = 0;
+    std::size_t p = pos;
+    while (p < bytes.size() && shift < 70) {
+        const std::uint8_t b = byteAt(bytes, p++);
+        result |= std::uint64_t(b & 0x7f) << shift;
+        if (!(b & 0x80)) {
+            value = result;
+            pos = p;
+            return true;
+        }
+        shift += 7;
+    }
+    return false;
+}
+
+std::uint32_t
+crc32(const void *data, std::size_t len)
+{
+    // Table-driven reflected CRC-32 (polynomial 0xEDB88320), built
+    // once on first use.
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+bool
+readFileBytes(const std::string &path, std::string &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    out.clear();
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    const bool ok = !std::ferror(f);
+    std::fclose(f);
+    return ok;
+}
+
+bool
+writeFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+        bytes.size();
+    return !(std::fclose(f) != 0 || !ok);
+}
+
+} // namespace tpre::tracefmt

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The `.tpt` branch-trace wire format (DESIGN.md section 13): a
+ * versioned, CRC-protected container for one run's dynamic
+ * instruction stream, compressed Nexus-style down to the
+ * information execution actually produced — conditional-branch
+ * outcome bits, indirect-jump targets, and (optionally) memory
+ * effective addresses — plus the static code image needed to
+ * reconstruct every other field of the stream by walking the
+ * program. Everything else (fall-throughs, direct-jump targets,
+ * taken flags of unconditional transfers) is re-derived by the
+ * decoder, so a 2M-instruction run costs a few hundred kilobytes
+ * instead of tens of megabytes.
+ *
+ * This header holds the constants and low-level encoding helpers
+ * (LEB128 varints, zigzag, CRC-32) shared by TptWriter and
+ * TptReader. The format is little-endian and fully deterministic:
+ * encoding the same stream twice, or re-encoding a decoded stream,
+ * yields byte-identical files — the property the round-trip fuzz
+ * invariant and the CI corpus job pin.
+ */
+
+#ifndef TPRE_TRACEFMT_TPT_HH
+#define TPRE_TRACEFMT_TPT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tpre::tracefmt
+{
+
+/**
+ * File magic, PNG-style: a non-ASCII lead byte (catches 7-bit
+ * transports), "TPT", CRLF + LF (catches newline translation), and
+ * a ^Z (stops accidental `type` on Windows).
+ */
+inline constexpr unsigned char kMagic[8] = {0x89, 'T',  'P',  'T',
+                                            '\r', '\n', 0x1a, '\n'};
+
+/** Current (and only) wire-format version. */
+inline constexpr std::uint16_t kVersion = 1;
+
+/** Header flag: the stream carries EA records for loads/stores. */
+inline constexpr std::uint16_t kFlagEffAddr = 1u << 0;
+/** All flag bits a version-1 reader understands. */
+inline constexpr std::uint16_t kKnownFlags = kFlagEffAddr;
+
+/** Record tags inside a chunk payload. */
+enum class RecordTag : std::uint8_t
+{
+    /**
+     * Full program counter (varint), first record of every chunk.
+     * Also resets the ITGT delta base to this PC and the EA delta
+     * base to 0, so a chunk's payload decodes independently of the
+     * record state of earlier chunks.
+     */
+    Sync = 0x00,
+    /**
+     * Taken/not-taken run: u8 count (1..64) then ceil(count/8)
+     * bytes of outcome bits, LSB first — one bit per conditional
+     * branch in stream order.
+     */
+    Tnt = 0x01,
+    /** Indirect-jump target: zigzag varint delta vs the ITGT base. */
+    IndirectTarget = 0x02,
+    /** Load/store effective address: zigzag varint delta vs base. */
+    EffAddr = 0x03,
+};
+
+/** Maximum outcome bits carried by one TNT record. */
+inline constexpr unsigned kTntMaxBits = 64;
+
+/** Default dynamic instructions per chunk. */
+inline constexpr std::uint32_t kDefaultChunkInsts = 4096;
+
+/** Parsed fixed header fields. */
+struct TptHeader
+{
+    std::uint16_t version = kVersion;
+    std::uint16_t flags = kFlagEffAddr;
+    std::uint32_t chunkInsts = kDefaultChunkInsts;
+    Addr base = 0;
+    Addr entry = 0;
+    std::uint64_t numWords = 0;
+    /** Dynamic instructions encoded in the record chunks. */
+    std::uint64_t dynCount = 0;
+
+    bool hasEffAddr() const { return flags & kFlagEffAddr; }
+};
+
+/** Provenance metadata carried alongside the header. */
+struct TptMeta
+{
+    /** Workload name the stream came from ("" when unknown). */
+    std::string benchmark;
+    /** Workload seed (0 when not applicable). */
+    std::uint64_t seed = 0;
+};
+
+// ---- low-level encoding helpers --------------------------------
+
+/** Append @p value to @p out as little-endian fixed-width bytes. */
+void putU16(std::string &out, std::uint16_t value);
+void putU32(std::string &out, std::uint32_t value);
+void putU64(std::string &out, std::uint64_t value);
+
+/** Append @p value as a LEB128 varint (1-10 bytes). */
+void putVarint(std::string &out, std::uint64_t value);
+
+/** Zigzag-map a signed delta into varint-friendly form and back. */
+std::uint64_t zigzag(std::int64_t value);
+std::int64_t unzigzag(std::uint64_t value);
+
+/**
+ * Bounds-checked little-endian reads over a byte buffer. Each
+ * returns false (leaving @p pos untouched) when fewer than the
+ * required bytes remain — the caller turns that into a clean
+ * "truncated" error instead of reading past the end.
+ */
+bool getU16(const std::string &bytes, std::size_t &pos,
+            std::uint16_t &value);
+bool getU32(const std::string &bytes, std::size_t &pos,
+            std::uint32_t &value);
+bool getU64(const std::string &bytes, std::size_t &pos,
+            std::uint64_t &value);
+
+/** Bounds-checked LEB128 read; false on truncation or >10 bytes. */
+bool getVarint(const std::string &bytes, std::size_t &pos,
+               std::uint64_t &value);
+
+/** CRC-32 (IEEE 802.3, reflected) over @p len bytes at @p data. */
+std::uint32_t crc32(const void *data, std::size_t len);
+
+// ---- file helpers ----------------------------------------------
+
+/** Read a whole file into @p out; false (with errno intact) on failure. */
+bool readFileBytes(const std::string &path, std::string &out);
+
+/** Write @p bytes to @p path atomically enough for test/CLI use. */
+bool writeFileBytes(const std::string &path, const std::string &bytes);
+
+} // namespace tpre::tracefmt
+
+#endif // TPRE_TRACEFMT_TPT_HH

@@ -1,0 +1,131 @@
+#include "tracefmt/writer.hh"
+
+#include "common/logging.hh"
+#include "obs/obs.hh"
+
+namespace tpre::tracefmt
+{
+
+TptWriter::TptWriter(const Program &program, TptMeta meta,
+                     TptWriterConfig config)
+    : program_(program), meta_(std::move(meta)), config_(config)
+{
+    if (config_.chunkInsts == 0)
+        config_.chunkInsts = kDefaultChunkInsts;
+    if (meta_.benchmark.size() > 255)
+        meta_.benchmark.resize(255);
+}
+
+void
+TptWriter::flushTnt()
+{
+    if (tntCount_ == 0)
+        return;
+    chunk_.push_back(
+        static_cast<char>(static_cast<std::uint8_t>(RecordTag::Tnt)));
+    chunk_.push_back(static_cast<char>(tntCount_));
+    for (unsigned i = 0; i < tntCount_; i += 8)
+        chunk_.push_back(
+            static_cast<char>((tntBits_ >> i) & 0xff));
+    tntBits_ = 0;
+    tntCount_ = 0;
+}
+
+void
+TptWriter::closeChunk()
+{
+    flushTnt();
+    putU32(body_, static_cast<std::uint32_t>(chunk_.size()));
+    putU32(body_, chunkCount_);
+    body_ += chunk_;
+    putU32(body_, crc32(chunk_.data(), chunk_.size()));
+    chunk_.clear();
+    chunkCount_ = 0;
+}
+
+void
+TptWriter::add(const DynInst &dyn)
+{
+    tpre_assert(!finished_, "TptWriter::add() after finish()");
+
+    if (chunkCount_ == 0) {
+        // Every chunk opens with a Sync carrying the absolute PC of
+        // its first instruction; the delta bases restart from it.
+        chunk_.push_back(static_cast<char>(
+            static_cast<std::uint8_t>(RecordTag::Sync)));
+        putVarint(chunk_, dyn.pc);
+        lastTarget_ = dyn.pc;
+        lastEffAddr_ = 0;
+    }
+
+    const Instruction &inst = dyn.inst;
+    if (config_.effAddr && (inst.isLoad() || inst.isStore())) {
+        flushTnt();
+        chunk_.push_back(static_cast<char>(
+            static_cast<std::uint8_t>(RecordTag::EffAddr)));
+        putVarint(chunk_,
+                  zigzag(static_cast<std::int64_t>(
+                      dyn.effAddr - lastEffAddr_)));
+        lastEffAddr_ = dyn.effAddr;
+    }
+
+    if (inst.isCondBranch()) {
+        if (dyn.taken)
+            tntBits_ |= std::uint64_t(1) << tntCount_;
+        if (++tntCount_ == kTntMaxBits)
+            flushTnt();
+    } else if (inst.isIndirectJump()) {
+        flushTnt();
+        chunk_.push_back(static_cast<char>(
+            static_cast<std::uint8_t>(RecordTag::IndirectTarget)));
+        putVarint(chunk_,
+                  zigzag(static_cast<std::int64_t>(dyn.nextPc -
+                                                   lastTarget_)));
+        lastTarget_ = dyn.nextPc;
+    }
+
+    ++dynCount_;
+    TPRE_OBS_COUNT("tpt.encode.insts");
+    if (++chunkCount_ == config_.chunkInsts)
+        closeChunk();
+}
+
+std::string
+TptWriter::finish()
+{
+    tpre_assert(!finished_, "TptWriter::finish() called twice");
+    finished_ = true;
+    if (chunkCount_ > 0)
+        closeChunk();
+
+    std::string out;
+    out.reserve(64 + meta_.benchmark.size() +
+                program_.numInsts() * 4 + body_.size());
+    out.append(reinterpret_cast<const char *>(kMagic),
+               sizeof(kMagic));
+    putU16(out, kVersion);
+    putU16(out, config_.effAddr ? kFlagEffAddr : 0);
+    putU32(out, config_.chunkInsts);
+    putU64(out, program_.base());
+    putU64(out, program_.entry());
+    putU64(out, program_.numInsts());
+    putU64(out, dynCount_);
+    putU64(out, meta_.seed);
+    out.push_back(
+        static_cast<char>(meta_.benchmark.size() & 0xff));
+    out += meta_.benchmark;
+    putU32(out, crc32(out.data(), out.size()));
+
+    const std::size_t progStart = out.size();
+    for (Addr pc = program_.base(); pc < program_.end();
+         pc += instBytes)
+        putU32(out, program_.wordAt(pc));
+    putU32(out, crc32(out.data() + progStart,
+                      out.size() - progStart));
+
+    out += body_;
+    TPRE_OBS_COUNT("tpt.encode.bytes", out.size());
+    return out;
+}
+
+} // namespace tpre::tracefmt

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * TptWriter: the `.tpt` encoder. Feed it the committed dynamic
+ * stream one DynInst at a time (it slots directly into
+ * check::SimHooks::onCommit, which is how live runs dump their
+ * stream) and finish() hands back the complete file image: header,
+ * embedded program section, and CRC-framed record chunks.
+ *
+ * The encoder keeps only the information the decoder cannot
+ * re-derive from the static code image: conditional-branch outcome
+ * bits (packed 64 to a TNT record), indirect-jump targets (zigzag
+ * varint deltas), and — unless disabled — load/store effective
+ * addresses. Encoding is deterministic: the same stream always
+ * produces the same bytes, and re-encoding a decoded stream
+ * reproduces the original file exactly.
+ */
+
+#ifndef TPRE_TRACEFMT_WRITER_HH
+#define TPRE_TRACEFMT_WRITER_HH
+
+#include <string>
+
+#include "func/core.hh"
+#include "isa/program.hh"
+#include "tracefmt/tpt.hh"
+
+namespace tpre::tracefmt
+{
+
+/** Encoder knobs. */
+struct TptWriterConfig
+{
+    /** Record load/store effective addresses (header flag bit 0). */
+    bool effAddr = true;
+    /** Dynamic instructions per CRC-framed chunk. */
+    std::uint32_t chunkInsts = kDefaultChunkInsts;
+};
+
+/** Streaming `.tpt` encoder. */
+class TptWriter
+{
+  public:
+    /**
+     * @param program Static code image embedded into the file; the
+     *        stream must have been produced by executing it.
+     */
+    explicit TptWriter(const Program &program, TptMeta meta = {},
+                       TptWriterConfig config = {});
+
+    /** Append one committed instruction. Must not follow finish(). */
+    void add(const DynInst &dyn);
+
+    /**
+     * Close the open chunk and build the file image. The writer is
+     * spent afterwards; add() must not be called again.
+     */
+    std::string finish();
+
+    /** Dynamic instructions encoded so far. */
+    InstCount instructions() const { return dynCount_; }
+
+  private:
+    void flushTnt();
+    void closeChunk();
+
+    const Program &program_;
+    TptMeta meta_;
+    TptWriterConfig config_;
+
+    /** Completed chunks (framing + payload + CRC). */
+    std::string body_;
+    /** Payload of the chunk being assembled. */
+    std::string chunk_;
+    std::uint32_t chunkCount_ = 0;
+    InstCount dynCount_ = 0;
+
+    /** Pending TNT bits, LSB first. */
+    std::uint64_t tntBits_ = 0;
+    unsigned tntCount_ = 0;
+
+    /** Delta bases, reset by each chunk's Sync record. */
+    Addr lastTarget_ = 0;
+    Addr lastEffAddr_ = 0;
+
+    bool finished_ = false;
+};
+
+} // namespace tpre::tracefmt
+
+#endif // TPRE_TRACEFMT_WRITER_HH

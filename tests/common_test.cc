@@ -56,6 +56,32 @@ TEST(ParseTest, RejectsGarbageZeroNegativeAndOverflow)
                 testing::ExitedWithCode(1), "4096");
 }
 
+TEST(ParseTest, PortAcceptsEphemeralZeroAndFullRange)
+{
+    EXPECT_EQ(parsePort("0", "TPRE_TELEMETRY_PORT"), 0);
+    EXPECT_EQ(parsePort("1", "TPRE_TELEMETRY_PORT"), 1);
+    EXPECT_EQ(parsePort("8080", "--telemetry-port"), 8080);
+    EXPECT_EQ(parsePort("65535", "--telemetry-port"), 65535);
+}
+
+TEST(ParseTest, PortDiesOnOutOfRangeAndGarbage)
+{
+    // Regression guard: TPRE_TELEMETRY_PORT must go through the
+    // strict parser — "8e3" or a silently truncated 70000 would
+    // otherwise bind a different port than the one asked for.
+    EXPECT_EXIT(parsePort("70000", "--telemetry-port"),
+                testing::ExitedWithCode(1), "TCP port");
+    EXPECT_EXIT(parsePort("8e3", "TPRE_TELEMETRY_PORT"),
+                testing::ExitedWithCode(1),
+                "TPRE_TELEMETRY_PORT.*8e3");
+    EXPECT_EXIT(parsePort("-1", "TPRE_TELEMETRY_PORT"),
+                testing::ExitedWithCode(1), "> 0");
+    EXPECT_EXIT(parsePort("", "TPRE_TELEMETRY_PORT"),
+                testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(parsePort("metrics", "--telemetry-port"),
+                testing::ExitedWithCode(1), "metrics");
+}
+
 TEST(LoggingTest, ThreadTagPrefixesAndRestores)
 {
     // warn() output goes to stderr; capture via death-test-free

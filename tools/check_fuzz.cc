@@ -75,18 +75,6 @@ main(int argc, char **argv)
     opts.jobs = par::defaultJobs();
     bool quiet = false;
     int telemetryPort = -1;
-    auto parsePort = [](const char *text,
-                        const char *what) -> int {
-        if (text && text[0] == '0' && text[1] == '\0')
-            return 0;
-        const std::int64_t v = parsePositiveInt(text, what);
-        if (v > 65535) {
-            std::cerr << what << ": " << v
-                      << " is not a valid TCP port\n";
-            std::exit(2);
-        }
-        return static_cast<int>(v);
-    };
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         auto value = [&]() -> const char * {
