@@ -114,8 +114,9 @@ class Harness
             telemetry_.start(
                 static_cast<std::uint16_t>(opts_.telemetryPort));
         if (const char *env = std::getenv("TPRE_HEARTBEAT_SECS"))
-            heartbeat_.start(static_cast<unsigned>(
-                parsePositiveInt(env, "TPRE_HEARTBEAT_SECS")));
+            heartbeat_.start(static_cast<unsigned>(parseUnsigned(
+                env, "TPRE_HEARTBEAT_SECS",
+                std::numeric_limits<unsigned>::max())));
         benchStart_ = obs::wallMicros();
         TPRE_TRACE_INSTANT("bench", name, obs::Domain::Wall,
                            benchStart_);

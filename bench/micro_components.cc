@@ -14,6 +14,7 @@
 
 #include "bpred/bimodal.hh"
 #include "bpred/next_trace.hh"
+#include "common/parse.hh"
 #include "common/random.hh"
 #include "func/core.hh"
 #include "tproc/fast_sim.hh"
@@ -150,7 +151,7 @@ main(int argc, char **argv)
     std::vector<char *> args(argv, argv + argc);
     bool hasOut = false;
     for (int i = 1; i < argc; ++i)
-        if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0)
+        if (tpre::isBenchmarkOutFlag(argv[i]))
             hasOut = true;
 
     std::string dir = ".";

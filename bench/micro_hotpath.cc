@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hh"
 #include "common/random.hh"
+#include "func/block_cache.hh"
 #include "func/core.hh"
 #include "func/memory.hh"
 #include "trace/fill_unit.hh"
@@ -105,6 +107,36 @@ BM_SegmentationRate(benchmark::State &state)
 }
 BENCHMARK(BM_SegmentationRate);
 
+/**
+ * Block dispatch (ROADMAP 2a/2b): predecoded-block lookup plus bulk
+ * body execution, terminator through the scalar core. Items are
+ * instructions, directly comparable to BM_CoreStepRate — the ratio
+ * is the fast-forward speedup of the retire loop itself.
+ */
+void
+BM_BlockDispatchRate(benchmark::State &state)
+{
+    const GeneratedWorkload &wl = gccWorkload();
+    FunctionalCore core(wl.program);
+    BlockCache blocks(wl.program);
+    std::int64_t insts = 0;
+    for (auto _ : state) {
+        if (core.halted())
+            core.reset();
+        const DecodedBlock &block = blocks.lookup(core.pc());
+        if (block.bodyLen) {
+            core.execBody(block.insts, block.bodyLen);
+            insts += block.bodyLen;
+        }
+        if (block.end != BlockEnd::Clipped && !core.halted()) {
+            benchmark::DoNotOptimize(core.step());
+            ++insts;
+        }
+    }
+    state.SetItemsProcessed(insts);
+}
+BENCHMARK(BM_BlockDispatchRate);
+
 /** Copying a full 16-instruction trace body (inline storage). */
 void
 BM_TraceBodyCopy(benchmark::State &state)
@@ -165,7 +197,7 @@ main(int argc, char **argv)
     std::vector<char *> args(argv, argv + argc);
     bool hasOut = false;
     for (int i = 1; i < argc; ++i)
-        if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0)
+        if (tpre::isBenchmarkOutFlag(argv[i]))
             hasOut = true;
 
     std::string dir = ".";

@@ -289,6 +289,46 @@ diffModels(const Program &program, const DiffConfig &cfg)
         liveStats = stats;
     }
 
+    // --- Block dispatch -----------------------------------------
+    // The hooked run above forced the scalar loop (an armed
+    // onCommit hook suppresses block fast-forward). Re-run the
+    // same configuration hookless with the block cache forced on:
+    // every statistic except the block counters themselves must
+    // come out identical, and the run must still reconcile against
+    // its own obs counters (feedRun batches fill.insts) and
+    // conserve instructions.
+    {
+        FastSimConfig bcfg;
+        bcfg.traceCacheEntries = cfg.traceCacheEntries;
+        bcfg.traceCacheAssoc = cfg.traceCacheAssoc;
+        bcfg.selection = cfg.selection;
+        bcfg.preconEnabled = cfg.preconEnabled;
+        bcfg.precon = cfg.precon;
+        bcfg.blockCache = true;
+
+        FastSim sim(program, bcfg);
+        const ObsCounters before = ObsCounters::captureThread();
+        const FastSimStats &stats = sim.run(cfg.maxInsts);
+        const ObsCounters delta =
+            ObsCounters::captureThread() - before;
+
+        if (auto f = prefixed("block-dispatch",
+                              obsReconcilesFast(delta, stats))) {
+            result.failure = f;
+            return result;
+        }
+        if (auto f = prefixed("block-dispatch",
+                              fastStatsEqual(liveStats, stats))) {
+            result.failure = f;
+            return result;
+        }
+        if (auto f = prefixed("block-dispatch",
+                              statsConserved(stats))) {
+            result.failure = f;
+            return result;
+        }
+    }
+
     // --- .tpt codec round trip and replay equality ---------------
     // The committed stream was just shown identical to ref.stream,
     // so encoding the reference stream encodes exactly what the

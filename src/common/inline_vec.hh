@@ -25,6 +25,7 @@
 #define TPRE_COMMON_INLINE_VEC_HH
 
 #include <cstddef>
+#include <cstring>
 #include <type_traits>
 
 #include "common/logging.hh"
@@ -48,18 +49,21 @@ class InlineVec
 
     InlineVec() {}
 
+    // Copies transfer only the live prefix, as one memcpy: the
+    // element type is trivially copyable by the static_assert
+    // above, and trace bodies are copied on every trace-cache /
+    // preconstruction-buffer insert, which makes the element-wise
+    // loop measurable on the hot path.
     InlineVec(const InlineVec &other) : size_(other.size_)
     {
-        for (std::size_t i = 0; i < size_; ++i)
-            elems_[i] = other.elems_[i];
+        std::memcpy(elems_, other.elems_, size_ * sizeof(T));
     }
 
     InlineVec &
     operator=(const InlineVec &other)
     {
         size_ = other.size_;
-        for (std::size_t i = 0; i < size_; ++i)
-            elems_[i] = other.elems_[i];
+        std::memmove(elems_, other.elems_, size_ * sizeof(T));
         return *this;
     }
 

@@ -18,8 +18,23 @@ namespace tpre
  * Parse @p text as a strictly positive decimal integer. Calls
  * fatal() naming @p what and the offending value on non-numeric
  * input, trailing garbage, overflow, or values <= 0.
+ *
+ * Strict means strict: the value must consist of decimal digits
+ * only. Leading whitespace and an explicit '+' sign — which
+ * strtoll-family parsers silently accept, so TPRE_INSTS=" 5" used
+ * to parse — are rejected like any other garbage.
  */
 std::int64_t parsePositiveInt(const char *text, const char *what);
+
+/**
+ * Parse @p text like parsePositiveInt and additionally require the
+ * value to be at most @p max. The caller names the bound that makes
+ * narrowing safe (e.g. UINT_MAX before a static_cast<unsigned>):
+ * without it, TPRE_HEARTBEAT_SECS=2^33 truncated to 0 instead of
+ * failing. Calls fatal() naming @p what when out of range.
+ */
+std::uint64_t parseUnsigned(const char *text, const char *what,
+                            std::uint64_t max);
 
 /**
  * Parse a worker count for --jobs / TPRE_JOBS: a positive integer,
@@ -35,6 +50,15 @@ unsigned parseJobs(const char *text, const char *what);
  * values above 65535 — never silently truncates.
  */
 int parsePort(const char *text, const char *what);
+
+/**
+ * Does @p arg name google-benchmark's output-file flag — exactly
+ * "--benchmark_out" or a "--benchmark_out=..." assignment? A plain
+ * prefix test also matched "--benchmark_out_format=...", so passing
+ * only a format flag silently suppressed the default
+ * BENCH_<name>.json report the micro-benchmark harnesses write.
+ */
+bool isBenchmarkOutFlag(const char *arg);
 
 } // namespace tpre
 

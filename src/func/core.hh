@@ -235,6 +235,32 @@ class FunctionalCore
         return last_;
     }
 
+    /**
+     * Block-granular entry point (ROADMAP item 2a): execute @p n
+     * straight-line non-control instructions starting at the
+     * current PC. @p insts must be the pre-decoded image of those
+     * instructions (a DecodedBlock body — see func/block_cache.hh),
+     * i.e. insts[i] is the instruction at pc() + 4*i. Equivalent to
+     * n step() calls, minus the per-instruction fetch-index math
+     * and dynamic-record copies: non-control instructions cannot
+     * halt, redirect the PC, or carry a taken outcome, so only the
+     * architectural state and the PC/instruction counters change.
+     */
+    void
+    execBody(const Instruction *insts, unsigned n)
+    {
+        tpre_assert(!halted_, "execBody() after halt");
+        Addr pc = pc_;
+        for (unsigned i = 0; i < n; ++i) {
+            tpre_assert(!insts[i].isControl(),
+                        "execBody() on a control transfer");
+            executeInst(insts[i], pc, state_);
+            pc += instBytes;
+        }
+        pc_ = pc;
+        instCount_ += n;
+    }
+
     bool halted() const { return halted_; }
     Addr pc() const { return pc_; }
     InstCount instsExecuted() const { return instCount_; }

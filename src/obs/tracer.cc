@@ -103,7 +103,12 @@ traceRingCapacityFromEnv()
     const char *env = std::getenv("TPRE_TRACE_BUF");
     if (!env)
         return 65536;
-    const std::int64_t v = parsePositiveInt(env, "TPRE_TRACE_BUF");
+    // Upper bound keeps an overflowing value (2^33 once truncated
+    // silently through unsigned) or a fat-fingered ring size from
+    // turning into a multi-gigabyte per-thread allocation.
+    const std::int64_t v = static_cast<std::int64_t>(
+        parseUnsigned(env, "TPRE_TRACE_BUF",
+                      std::uint64_t(1) << 28));
     if (v < 16)
         fatal("TPRE_TRACE_BUF: %lld is below the minimum ring "
               "capacity of 16",

@@ -42,7 +42,8 @@ PreconstructionBuffers::contains(const TraceId &id) const
 }
 
 bool
-PreconstructionBuffers::insert(Trace trace, std::uint64_t regionSeq)
+PreconstructionBuffers::insert(const Trace &trace,
+                               std::uint64_t regionSeq)
 {
     tpre_assert(trace.id.valid());
     const std::size_t set = setOf(trace.id);
@@ -52,7 +53,7 @@ PreconstructionBuffers::insert(Trace trace, std::uint64_t regionSeq)
     for (unsigned way = 0; way < assoc_; ++way) {
         Entry &entry = entries_[set * assoc_ + way];
         if (entry.valid && entry.trace.id == trace.id) {
-            entry.trace = std::move(trace);
+            entry.trace = trace;
             entry.regionSeq = regionSeq;
             return true;
         }
@@ -76,7 +77,7 @@ PreconstructionBuffers::insert(Trace trace, std::uint64_t regionSeq)
 
     victim->valid = true;
     victim->regionSeq = regionSeq;
-    victim->trace = std::move(trace);
+    victim->trace = trace;
     return true;
 }
 

@@ -37,7 +37,8 @@ class PreconStore
 
     /** Insert a trace on behalf of region @p regionSeq.
      *  @return false when refused (resource bound). */
-    virtual bool insert(Trace trace, std::uint64_t regionSeq) = 0;
+    virtual bool insert(const Trace &trace,
+                        std::uint64_t regionSeq) = 0;
 
     /** Remove a trace (after copying it to the trace cache). */
     virtual bool invalidate(const TraceId &id) = 0;
@@ -66,7 +67,8 @@ class PreconstructionBuffers : public PreconStore
      * @return false when refused: the only eviction candidates
      *         belong to the same or a newer region.
      */
-    bool insert(Trace trace, std::uint64_t regionSeq) override;
+    bool insert(const Trace &trace,
+                std::uint64_t regionSeq) override;
 
     /** Remove a trace (after it is copied to the trace cache). */
     bool invalidate(const TraceId &id) override;

@@ -1,5 +1,7 @@
 #include "precon/constructor.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace tpre
@@ -7,9 +9,10 @@ namespace tpre
 
 PreconConstructor::PreconConstructor(const Program &program,
                                      const BimodalPredictor &bimodal,
-                                     const PreconPolicy &policy)
+                                     const PreconPolicy &policy,
+                                     bool bulkWalk)
     : program_(program), bimodal_(bimodal), policy_(policy),
-      builder_(policy.selection)
+      bulkWalk_(bulkWalk), builder_(policy.selection)
 {
 }
 
@@ -35,15 +38,16 @@ PreconConstructor::abandon()
     }
     region_ = nullptr;
     pathActive_ = false;
+    stalled_ = false;
     if (builder_.active())
         builder_.abandon();
     pendingPaths_.clear();
 }
 
 void
-PreconConstructor::beginPath(std::vector<bool> prescribed)
+PreconConstructor::beginPath(DecisionPath prescribed)
 {
-    decisions_ = std::move(prescribed);
+    decisions_ = prescribed;
     decIndex_ = 0;
     pc_ = startPc_;
     callStack_.clear();
@@ -52,6 +56,7 @@ PreconConstructor::beginPath(std::vector<bool> prescribed)
         builder_.abandon();
     builder_.begin(startPc_);
     pathActive_ = true;
+    stalled_ = false;
 }
 
 void
@@ -69,9 +74,9 @@ PreconConstructor::pathDone(bool regionStopped)
     // Backtrack to the most recent decision point, if any.
     if (tracesFromStart_ < policy_.maxTracesPerStart &&
         !pendingPaths_.empty()) {
-        std::vector<bool> next = std::move(pendingPaths_.back());
+        const DecisionPath next = pendingPaths_.back();
         pendingPaths_.pop_back();
-        beginPath(std::move(next));
+        beginPath(next);
         return;
     }
 
@@ -101,6 +106,8 @@ PreconConstructor::stepOne(PreconTraceSink &sink)
             return true;
         }
         region_->noteNeededLine(prefetch.lineAddr(pc_));
+        stalled_ = true;
+        stallFill_ = prefetch.numLines();
         return false; // stalled awaiting the line
     }
 
@@ -126,9 +133,9 @@ PreconConstructor::stepOne(PreconTraceSink &sink)
                 dir = true;
                 if (forkBudget_ > 0) {
                     --forkBudget_;
-                    std::vector<bool> alt = decisions_;
+                    DecisionPath alt = decisions_;
                     alt.push_back(false);
-                    pendingPaths_.push_back(std::move(alt));
+                    pendingPaths_.push_back(alt);
                 }
             } else if (bias.strong) {
                 dir = bias.taken;
@@ -138,9 +145,9 @@ PreconConstructor::stepOne(PreconTraceSink &sink)
                 dir = false;
                 if (forkBudget_ > 0) {
                     --forkBudget_;
-                    std::vector<bool> alt = decisions_;
+                    DecisionPath alt = decisions_;
                     alt.push_back(true);
-                    pendingPaths_.push_back(std::move(alt));
+                    pendingPaths_.push_back(alt);
                 }
             }
             decisions_.push_back(dir);
@@ -173,18 +180,24 @@ PreconConstructor::stepOne(PreconTraceSink &sink)
     const bool completed = builder_.append(inst, pc, dir, next_pc);
     pc_ = next_pc;
 
-    if (!completed)
-        return true;
+    if (completed)
+        finishTrace(resume_after_return, sink);
+    return true;
+}
 
-    Trace trace = builder_.take();
+void
+PreconConstructor::finishTrace(Addr resumeAfterReturn,
+                               PreconTraceSink &sink)
+{
+    Trace &trace = builder_.finalize();
     const Addr continuation =
-        trace.endsInReturn() ? resume_after_return
+        trace.endsInReturn() ? resumeAfterReturn
                              : trace.fallThrough;
     ++tracesFromStart_;
     ++region_->tracesConstructed;
 
     Region *region = region_;
-    if (!sink.emitTrace(*region, std::move(trace))) {
+    if (!sink.emitTrace(*region, trace)) {
         // The preconstruction buffers refused the trace: all
         // eviction candidates belong to this or a newer region.
         // This is the buffer-availability bound of Section 3.1;
@@ -193,7 +206,7 @@ PreconConstructor::stepOne(PreconTraceSink &sink)
         if (++region->bufferRefusals >= 4) {
             abandon();
             region->finish(RegionEndReason::BuffersFull);
-            return true;
+            return;
         }
     }
 
@@ -203,7 +216,6 @@ PreconConstructor::stepOne(PreconTraceSink &sink)
         region->addStartPoint(continuation);
 
     pathDone(false);
-    return true;
 }
 
 unsigned
@@ -211,6 +223,54 @@ PreconConstructor::tick(unsigned instBudget, PreconTraceSink &sink)
 {
     unsigned processed = 0;
     while (processed < instBudget && region_ && pathActive_) {
+        // Still stalled: with the prefetch line count unchanged the
+        // missing line cannot have arrived (lines only accrete), so
+        // a re-attempt would stall again without side effects —
+        // noteNeededLine() already dedups and full() was false when
+        // the stall was recorded.
+        if (stalled_) {
+            if (region_->prefetch().numLines() == stallFill_)
+                break;
+            stalled_ = false;
+        }
+        // Bulk path: append the straight-line run at pc_ in one go,
+        // clipped to the first control transfer, the end of the
+        // current trace, the tick budget, the image end, and the
+        // contiguous prefix of prefetched lines. Each clip leaves
+        // pc_ exactly where the per-instruction walk would stop, so
+        // the stall, fork and completion logic in stepOne() fires
+        // unchanged.
+        if (bulkWalk_ && program_.contains(pc_) &&
+            !program_.instAt(pc_).isControl()) {
+            const unsigned limit = std::min(
+                {static_cast<unsigned>(
+                     (program_.end() - pc_) / instBytes),
+                 builder_.roomLeft(), instBudget - processed});
+            const Instruction *insts = &program_.instAt(pc_);
+            const PrefetchCache &prefetch = region_->prefetch();
+            unsigned n = 0;
+            Addr line = invalidAddr;
+            while (n < limit) {
+                const Addr addr = pc_ + n * instBytes;
+                if (prefetch.lineAddr(addr) != line) {
+                    if (!prefetch.contains(addr))
+                        break;
+                    line = prefetch.lineAddr(addr);
+                }
+                if (insts[n].isControl())
+                    break;
+                ++n;
+            }
+            if (n > 0) {
+                const bool completed =
+                    builder_.appendRun(insts, pc_, n);
+                pc_ += n * instBytes;
+                processed += n;
+                if (completed)
+                    finishTrace(invalidAddr, sink);
+                continue;
+            }
+        }
         if (!stepOne(sink))
             break; // stalled on a line fetch
         ++processed;

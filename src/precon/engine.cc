@@ -10,6 +10,18 @@
 namespace tpre
 {
 
+namespace
+{
+
+/** Signature bit of an address (mirrors StartPointStack's). */
+std::uint64_t
+addrSigBit(Addr addr)
+{
+    return std::uint64_t(1) << ((addr / instBytes) & 63);
+}
+
+} // namespace
+
 PreconstructionEngine::PreconstructionEngine(
     const Program &program, ICache &icache,
     const BimodalPredictor &bimodal, const TraceCache &traceCache,
@@ -24,7 +36,8 @@ PreconstructionEngine::PreconstructionEngine(
     constructors_.reserve(config_.numConstructors);
     for (unsigned i = 0; i < config_.numConstructors; ++i)
         constructors_.emplace_back(program_, bimodal_,
-                                   config_.policy);
+                                   config_.policy,
+                                   config_.blockWalk);
 }
 
 PreconstructionEngine::~PreconstructionEngine() = default;
@@ -55,38 +68,44 @@ PreconstructionEngine::consumeHit(const TraceId &id)
 }
 
 void
-PreconstructionEngine::observeDispatch(const DynInst &dyn)
+PreconstructionEngine::observeCommit(Addr pc,
+                                     const Instruction &inst,
+                                     bool taken)
 {
     // Catch-up detection: the processor reached the start of an
     // active region, so further preconstruction there is pointless
     // (any traces already buffered stay useful).
-    for (auto &region : regions_) {
-        if (region->state() == RegionState::Active &&
-            dyn.pc == region->startAddr()) {
-            terminateRegion(*region, RegionEndReason::CaughtUp);
+    if (regionSig_ & addrSigBit(pc)) {
+        for (auto &region : regions_) {
+            if (region->state() == RegionState::Active &&
+                pc == region->startAddr()) {
+                terminateRegion(*region, RegionEndReason::CaughtUp);
+            }
         }
     }
-    stack_.removeReached(dyn.pc);
+    stack_.removeReached(pc);
 
     // New start points: the return point of a call, or the
     // fall-through (loop exit) of a taken backward branch.
     Addr candidate = invalidAddr;
     StartPointKind kind = StartPointKind::CallReturn;
-    if (dyn.inst.isCall()) {
-        candidate = Instruction::fallThrough(dyn.pc);
+    if (inst.isCall()) {
+        candidate = Instruction::fallThrough(pc);
         kind = StartPointKind::CallReturn;
-    } else if (dyn.inst.isBackwardBranch() && dyn.taken) {
-        candidate = Instruction::fallThrough(dyn.pc);
+    } else if (inst.isBackwardBranch() && taken) {
+        candidate = Instruction::fallThrough(pc);
         kind = StartPointKind::LoopExit;
     }
     if (candidate == invalidAddr)
         return;
 
     // Skip regions already being preconstructed.
-    for (const auto &region : regions_) {
-        if (region->state() == RegionState::Active &&
-            region->startAddr() == candidate) {
-            return;
+    if (regionSig_ & addrSigBit(candidate)) {
+        for (const auto &region : regions_) {
+            if (region->state() == RegionState::Active &&
+                region->startAddr() == candidate) {
+                return;
+            }
         }
     }
     if (stack_.push(candidate, kind)) {
@@ -106,7 +125,7 @@ PreconstructionEngine::observeMisspeculation(
 }
 
 bool
-PreconstructionEngine::emitTrace(Region &region, Trace trace)
+PreconstructionEngine::emitTrace(Region &region, Trace &trace)
 {
     tpre_check_run(check::enforce(
         check::traceWellFormed(trace, config_.policy.selection),
@@ -138,7 +157,7 @@ PreconstructionEngine::emitTrace(Region &region, Trace trace)
     PreconStore &store =
         externalStore_ ? *externalStore_
                        : static_cast<PreconStore &>(buffers_);
-    if (!store.insert(std::move(trace), region.seq()))
+    if (!store.insert(trace, region.seq()))
         return false;
     ++stats_.tracesBuffered;
     TPRE_OBS_COUNT("precon.traces_buffered");
@@ -167,15 +186,20 @@ PreconstructionEngine::terminateRegion(Region &region,
 void
 PreconstructionEngine::completeFetches()
 {
+    if (pendingFetchCount_ == 0 || now_ < nextFetchReady_)
+        return;
+    Cycle next = ~static_cast<Cycle>(0);
     for (auto &region : regions_) {
         auto &pending = region->pendingFetches;
         for (std::size_t i = 0; i < pending.size();) {
             if (now_ < pending[i].readyAt) {
+                next = std::min(next, pending[i].readyAt);
                 ++i;
                 continue;
             }
             const Addr line = pending[i].line;
             pending.erase(pending.begin() + i);
+            --pendingFetchCount_;
             if (region->state() != RegionState::Active)
                 continue;
             if (!region->prefetch().insertLine(line))
@@ -184,9 +208,10 @@ PreconstructionEngine::completeFetches()
             std::erase(region->neededLines, line);
         }
     }
+    nextFetchReady_ = next;
 }
 
-void
+bool
 PreconstructionEngine::issueFetch()
 {
     // One spare I-cache port (one access per idle cycle); the
@@ -211,7 +236,7 @@ PreconstructionEngine::issueFetch()
         }
     }
     if (!chosen)
-        return;
+        return false;
 
     const ICache::AccessResult res =
         icache_.fetchLine(chosen_line, true);
@@ -219,48 +244,77 @@ PreconstructionEngine::issueFetch()
     TPRE_OBS_COUNT("precon.lines_fetched");
     chosen->pendingFetches.push_back(
         {chosen_line, now_ + res.latency});
+    if (pendingFetchCount_++ == 0)
+        nextFetchReady_ = now_ + res.latency;
+    else
+        nextFetchReady_ = std::min(nextFetchReady_,
+                                   now_ + res.latency);
+    return true;
 }
 
-void
+bool
 PreconstructionEngine::assignConstructors()
 {
+    // Highest-priority (newest) region with pending work. The scan
+    // result is reused across constructors: assign() only drains
+    // the chosen region's worklist, so while that region stays
+    // active and non-empty a rescan would pick it again.
+    Region *chosen = nullptr;
+    bool assigned = false;
     for (auto &constructor : constructors_) {
         if (!constructor.idle())
             continue;
-        // Highest-priority (newest) region with pending work.
-        Region *chosen = nullptr;
-        for (auto &region : regions_) {
-            if (region->state() == RegionState::Active &&
-                !region->worklistEmpty() &&
-                (!chosen || region->seq() > chosen->seq())) {
-                chosen = region.get();
-            }
+        if (chosen && (chosen->state() != RegionState::Active ||
+                       chosen->worklistEmpty())) {
+            chosen = nullptr;
         }
-        if (!chosen)
-            return;
+        if (!chosen) {
+            for (auto &region : regions_) {
+                if (region->state() == RegionState::Active &&
+                    !region->worklistEmpty() &&
+                    (!chosen || region->seq() > chosen->seq())) {
+                    chosen = region.get();
+                }
+            }
+            if (!chosen)
+                return assigned;
+        }
         constructor.assign(*chosen, chosen->takeStartPoint());
+        assigned = true;
     }
+    return assigned;
 }
 
-void
+bool
 PreconstructionEngine::retireRegions()
 {
+    // Single pass: work-exhaustion detection, then the reap of any
+    // finished region in the same iteration (a region terminated by
+    // the first check is immediately reapable, exactly as when
+    // these were two sequential loops). The erase pass below runs
+    // only when this one saw a removable region.
+    bool removable = false;
+    bool changed = false;
     for (auto &region : regions_) {
         if (region->state() == RegionState::Active &&
             region->worklistEmpty() && region->workers == 0 &&
             region->pendingFetches.empty()) {
             terminateRegion(*region, RegionEndReason::Completed);
+            changed = true;
         }
-    }
-
-    // Reap every finished region exactly once: detach any
-    // constructors still pointed at it (a region can be finished
-    // from within a constructor), remember it as recently
-    // completed, and account for the termination reason.
-    for (auto &region : regions_) {
-        if (region->state() != RegionState::Done || region->reaped)
+        // Reap every finished region exactly once: detach any
+        // constructors still pointed at it (a region can be
+        // finished from within a constructor), remember it as
+        // recently completed, and account for the termination
+        // reason.
+        if (region->state() != RegionState::Done || region->reaped) {
+            removable |= region->state() == RegionState::Done &&
+                         region->pendingFetches.empty();
             continue;
+        }
         region->reaped = true;
+        changed = true;
+        removable |= region->pendingFetches.empty();
         TPRE_TRACE_COMPLETE("precon", "region", obs::Domain::Cycles,
                             region->obsStartCycle,
                             now_ - region->obsStartCycle,
@@ -292,15 +346,24 @@ PreconstructionEngine::retireRegions()
     // Free prefetch caches of finished regions (a region slot ==
     // one prefetch cache). Keep regions with a fetch in flight
     // until it drains.
-    std::erase_if(regions_, [](const std::unique_ptr<Region> &r) {
-        return r->state() == RegionState::Done && r->reaped &&
-               r->pendingFetches.empty();
-    });
+    if (removable) {
+        std::erase_if(regions_,
+                      [](const std::unique_ptr<Region> &r) {
+                          return r->state() == RegionState::Done &&
+                                 r->reaped &&
+                                 r->pendingFetches.empty();
+                      });
+        regionSig_ = 0;
+        for (const auto &region : regions_)
+            regionSig_ |= addrSigBit(region->startAddr());
+    }
+    return changed || removable;
 }
 
-void
+bool
 PreconstructionEngine::startRegion()
 {
+    bool started = false;
     while (regions_.size() < config_.numPrefetchCaches &&
            !stack_.empty()) {
         const StartPoint sp = stack_.pop();
@@ -309,29 +372,42 @@ PreconstructionEngine::startRegion()
         regions_.push_back(std::make_unique<Region>(
             nextRegionSeq_++, sp, config_.prefetchCacheInsts,
             config_.policy));
+        regionSig_ |= addrSigBit(sp.addr);
         regions_.back()->obsStartCycle = now_;
         ++stats_.regionsStarted;
+        started = true;
         TPRE_OBS_COUNT("precon.regions_started");
         TPRE_TRACE_INSTANT("precon", "region_start",
                            obs::Domain::Cycles, now_, sp.addr);
     }
+    return started;
 }
 
-void
+bool
 PreconstructionEngine::tickOneCycle(bool icachePortFree)
 {
     ++now_;
+    bool busy = false;
+    const unsigned fetches_before = pendingFetchCount_;
     completeFetches();
-    retireRegions();
-    startRegion();
+    busy |= pendingFetchCount_ != fetches_before;
+    busy |= retireRegions();
+    busy |= startRegion();
     if (icachePortFree)
-        issueFetch();
-    assignConstructors();
+        busy |= issueFetch();
+    busy |= assignConstructors();
     for (auto &constructor : constructors_) {
-        if (!constructor.idle())
-            constructor.tick(config_.constructorInstsPerCycle,
-                             *this);
+        if (constructor.idle())
+            continue;
+        const bool was_stalled = constructor.stalled();
+        const unsigned n = constructor.tick(
+            config_.constructorInstsPerCycle, *this);
+        // A fresh stall registers a needed line with the region —
+        // state issueFetch acts on — so it counts as progress; a
+        // re-confirmed stall changes nothing.
+        busy |= n > 0 || (constructor.stalled() && !was_stalled);
     }
+    return busy;
 }
 
 void
@@ -343,11 +419,30 @@ PreconstructionEngine::tick(Cycle cycles, bool icachePortFree)
         return;
     }
     for (Cycle i = 0; i < cycles; ++i) {
-        tickOneCycle(icachePortFree);
+        const bool busy = tickOneCycle(icachePortFree);
         if (regions_.empty() && stack_.empty()) {
             now_ += cycles - i - 1;
             return;
         }
+        if (busy)
+            continue;
+        // Quiescent cycle: every phase is purely state-driven, so
+        // the engine stays quiescent until the next line fill
+        // completes (the only time-triggered event). Skip straight
+        // there — or to the end of the span when nothing is in
+        // flight (the port-free flag is constant within a span, so
+        // no issue can unblock either). nextFetchReady_ is the
+        // exact minimum readyAt, making the skip bit-identical to
+        // ticking through the no-op cycles one by one.
+        Cycle skip = cycles - i - 1;
+        if (pendingFetchCount_ != 0) {
+            skip = nextFetchReady_ > now_ + 1
+                       ? std::min<Cycle>(skip,
+                                         nextFetchReady_ - now_ - 1)
+                       : 0;
+        }
+        now_ += skip;
+        i += skip;
     }
 }
 
@@ -360,6 +455,9 @@ PreconstructionEngine::clear()
     buffers_.clear();
     stack_.clear();
     stats_ = Stats();
+    regionSig_ = 0;
+    pendingFetchCount_ = 0;
+    nextFetchReady_ = 0;
     now_ = 0;
 }
 

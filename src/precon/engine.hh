@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/icache.hh"
+#include "func/block_cache.hh"
 #include "func/core.hh"
 #include "precon/buffers.hh"
 #include "precon/constructor.hh"
@@ -57,6 +58,14 @@ struct PreconConfig
      * 3.2 redundancy filters). 0 disables.
      */
     unsigned warmRegionThreshold = 3;
+    /**
+     * Let the constructors walk straight-line runs through a shared
+     * predecoded-block cache (ROADMAP 2a/2b) instead of stepping
+     * per instruction. Host-side speedup only: every statistic is
+     * bit-identical either way. FastSim overrides this with its own
+     * blockCache knob; the default honours TPRE_BLOCK_CACHE.
+     */
+    bool blockWalk = blockCacheDefaultEnabled();
     PreconPolicy policy;
 };
 
@@ -117,7 +126,17 @@ class PreconstructionEngine : public PreconTraceSink
      * points for calls and taken backward branches, and detects
      * the processor catching up with active regions.
      */
-    void observeDispatch(const DynInst &dyn);
+    void observeDispatch(const DynInst &dyn)
+    { observeCommit(dyn.pc, dyn.inst, dyn.taken); }
+
+    /**
+     * The monitor proper: observeDispatch() minus the DynInst
+     * wrapper. Block dispatch reconstructs commit events straight
+     * from trace bodies, which hold exactly these three fields —
+     * taking them unpacked keeps that loop free of per-instruction
+     * DynInst assembly.
+     */
+    void observeCommit(Addr pc, const Instruction &inst, bool taken);
 
     /** Timing mode: start points from squashed instructions. */
     void observeMisspeculation(const std::vector<Addr> &addrs);
@@ -134,7 +153,7 @@ class PreconstructionEngine : public PreconTraceSink
     void tick(Cycle cycles, bool icachePortFree);
 
     // PreconTraceSink
-    bool emitTrace(Region &region, Trace trace) override;
+    bool emitTrace(Region &region, Trace &trace) override;
 
     /**
      * Redirect preconstructed traces into an external store (e.g.
@@ -165,12 +184,18 @@ class PreconstructionEngine : public PreconTraceSink
     void clear();
 
   private:
-    void tickOneCycle(bool icachePortFree);
+    /**
+     * One engine cycle. The return value reports whether any phase
+     * changed state; a false return proves the next cycles are
+     * no-ops too until the next fill completes (the only
+     * time-triggered phase), which lets tick() skip them wholesale.
+     */
+    bool tickOneCycle(bool icachePortFree);
     void completeFetches();
-    void issueFetch();
-    void assignConstructors();
-    void retireRegions();
-    void startRegion();
+    bool issueFetch();
+    bool assignConstructors();
+    bool retireRegions();
+    bool startRegion();
     void terminateRegion(Region &region, RegionEndReason reason);
 
     const Program &program_;
@@ -186,6 +211,21 @@ class PreconstructionEngine : public PreconTraceSink
     std::vector<std::unique_ptr<Region>> regions_;
     std::vector<PreconConstructor> constructors_;
     std::uint64_t nextRegionSeq_ = 1;
+    /**
+     * Superset signature of the start addresses of the regions in
+     * regions_ (same one-word scheme as StartPointStack): a clear
+     * bit proves no region starts at a pc, letting observeCommit()
+     * skip the catch-up scan for almost every commit. Bits of
+     * finished-but-unreaped regions linger until the erase — only
+     * false positives, never false negatives.
+     */
+    std::uint64_t regionSig_ = 0;
+    /** Line fills in flight across all regions; lets the per-cycle
+     *  completion scan bail out without touching the regions. */
+    unsigned pendingFetchCount_ = 0;
+    /** Earliest readyAt among them: no fill can complete before
+     *  this cycle, so the scan is skipped entirely until then. */
+    Cycle nextFetchReady_ = 0;
     Cycle now_ = 0;
     bool diagLog_ = false;
     std::vector<TraceId> bufferedLog_;

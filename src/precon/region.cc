@@ -31,7 +31,7 @@ Region::addStartPoint(Addr addr)
 {
     if (addr == invalidAddr || state_ != RegionState::Active)
         return;
-    if (seenStarts_.count(addr))
+    if (seenStarts_.contains(addr))
         return;
     if (worklist_.size() >= policy_.worklistMax)
         return;

@@ -9,7 +9,6 @@
 #ifndef TPRE_PRECON_REGION_HH
 #define TPRE_PRECON_REGION_HH
 
-#include <unordered_set>
 #include <vector>
 
 #include "cache/prefetch_cache.hh"
@@ -18,6 +17,78 @@
 
 namespace tpre
 {
+
+/**
+ * Insert-only open-addressing set of addresses. Replaces the
+ * unordered_set that deduplicated region start points: every
+ * completed trace offers a continuation, so the per-insert node
+ * allocation (and per-region bucket array) of the node-based set
+ * was measurable on the preconstruction hot path. Linear probing
+ * over a power-of-two table at <= 50% load; invalidAddr marks an
+ * empty slot and is not storable (Region never offers it).
+ */
+class AddrSet
+{
+  public:
+    bool
+    contains(Addr addr) const
+    {
+        if (slots_.empty())
+            return false;
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = probe(addr) & mask;;
+             i = (i + 1) & mask) {
+            if (slots_[i] == invalidAddr)
+                return false;
+            if (slots_[i] == addr)
+                return true;
+        }
+    }
+
+    void
+    insert(Addr addr)
+    {
+        if (slots_.empty())
+            slots_.assign(32, invalidAddr);
+        else if ((count_ + 1) * 2 > slots_.size())
+            grow();
+        const std::size_t mask = slots_.size() - 1;
+        for (std::size_t i = probe(addr) & mask;;
+             i = (i + 1) & mask) {
+            if (slots_[i] == addr)
+                return;
+            if (slots_[i] == invalidAddr) {
+                slots_[i] = addr;
+                ++count_;
+                return;
+            }
+        }
+    }
+
+  private:
+    static std::size_t
+    probe(Addr addr)
+    {
+        // Fibonacci hashing on the instruction index.
+        return static_cast<std::size_t>(
+            (addr / instBytes) * 0x9E3779B97F4A7C15ull >> 32);
+    }
+
+    void
+    grow()
+    {
+        std::vector<Addr> old = std::move(slots_);
+        slots_.assign(old.size() * 2, invalidAddr);
+        count_ = 0;
+        for (Addr a : old) {
+            if (a != invalidAddr)
+                insert(a);
+        }
+    }
+
+    std::vector<Addr> slots_;
+    std::size_t count_ = 0;
+};
 
 /** Tunables of the preconstruction mechanism (Section 3). */
 struct PreconPolicy
@@ -134,7 +205,7 @@ class Region
     PreconPolicy policy_;
     PrefetchCache prefetch_;
     std::vector<Addr> worklist_;
-    std::unordered_set<Addr> seenStarts_;
+    AddrSet seenStarts_;
     RegionState state_ = RegionState::Active;
     RegionEndReason endReason_ = RegionEndReason::Completed;
 };

@@ -29,9 +29,12 @@ StartPointStack::push(Addr addr, StartPointKind kind)
     if (completedRecently(addr))
         return false;
 
-    if (stack_.size() >= depth_)
+    if (stack_.size() >= depth_) {
         stack_.erase(stack_.begin()); // discard the oldest
+        rebuildSig();
+    }
     stack_.push_back({addr, kind});
+    sig_ |= sigBit(addr);
     return true;
 }
 
@@ -41,6 +44,7 @@ StartPointStack::pop()
     tpre_assert(!stack_.empty());
     StartPoint sp = stack_.back();
     stack_.pop_back();
+    rebuildSig();
     return sp;
 }
 
@@ -57,6 +61,7 @@ StartPointStack::eraseAll(Addr addr)
     std::erase_if(stack_, [addr](const StartPoint &sp) {
         return sp.addr == addr;
     });
+    rebuildSig();
 }
 
 void
@@ -66,6 +71,7 @@ StartPointStack::removeMisspeculated(const std::vector<Addr> &addrs)
         return std::find(addrs.begin(), addrs.end(), sp.addr) !=
                addrs.end();
     });
+    rebuildSig();
 }
 
 bool
@@ -101,6 +107,7 @@ void
 StartPointStack::clear()
 {
     stack_.clear();
+    sig_ = 0;
     completed_.clear();
 }
 

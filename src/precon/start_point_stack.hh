@@ -68,6 +68,11 @@ class StartPointStack
     void
     removeReached(Addr addr)
     {
+        // One-word prefilter: a clear signature bit proves the
+        // address is not on the stack, so the (vastly) common
+        // no-match case costs a mask test instead of a scan.
+        if (!(sig_ & sigBit(addr)))
+            return;
         for (const StartPoint &sp : stack_) {
             if (sp.addr == addr) {
                 eraseAll(addr);
@@ -96,10 +101,28 @@ class StartPointStack
     /** Cold path: drop every entry at @p addr (duplicates exist). */
     void eraseAll(Addr addr);
 
+    /** Signature bit of an address (low pc bits above alignment). */
+    static std::uint64_t
+    sigBit(Addr addr)
+    {
+        return std::uint64_t(1) << ((addr / instBytes) & 63);
+    }
+
+    /** Recompute sig_ from the live entries (after any removal). */
+    void
+    rebuildSig()
+    {
+        sig_ = 0;
+        for (const StartPoint &sp : stack_)
+            sig_ |= sigBit(sp.addr);
+    }
+
     unsigned depth_;
     unsigned completedSlots_;
     /** Newest entry at the back. */
     std::vector<StartPoint> stack_;
+    /** Superset signature of the addresses on the stack. */
+    std::uint64_t sig_ = 0;
     /** Recently completed region starts, newest at the back. */
     std::vector<Addr> completed_;
 };

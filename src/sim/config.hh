@@ -40,6 +40,12 @@ struct SimConfig
     /** 0 disables preconstruction entirely. */
     std::size_t preconBufferEntries = 0;
     bool prepEnabled = false;
+    /**
+     * Predecoded block dispatch for Fast mode (ROADMAP 2a/2b);
+     * statistics are bit-identical either way, only wall clock and
+     * the block counters change. Default honours TPRE_BLOCK_CACHE.
+     */
+    bool blockCache = blockCacheDefaultEnabled();
 
     SelectionPolicy selection;
     /** Extra preconstruction knobs (ablations). */

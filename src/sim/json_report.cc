@@ -226,6 +226,10 @@ BenchReport::render(double wallSeconds) const
                u64(r.precon.bufferHits) + ", ";
         out += "\"provenance\": " +
                renderProvenanceJson(r.provenance) + ", ";
+        out += "\"blocks_decoded\": " + u64(r.blocksDecoded) + ", ";
+        out += "\"block_hits\": " + u64(r.blockHits) + ", ";
+        out += "\"block_invalidations\": " +
+               u64(r.blockInvalidations) + ", ";
         out += "\"wall_seconds\": " + jsonNumber(r.wallSeconds) +
                ", ";
         out += "\"mips\": " + jsonNumber(r.mips) + "}";

@@ -33,6 +33,9 @@ makeFastResult(const SimConfig &config, const FastSimStats &st)
     }
     result.precon = st.precon;
     result.provenance = st.provenance;
+    result.blocksDecoded = st.blocks.decoded;
+    result.blockHits = st.blocks.hits;
+    result.blockInvalidations = st.blocks.invalidations;
     return result;
 }
 

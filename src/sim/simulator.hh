@@ -48,6 +48,15 @@ struct SimResult
      */
     ProvenanceTable provenance;
     /**
+     * Block-dispatch counters (Fast mode with the block cache on;
+     * zero otherwise). Host-side bookkeeping like wallSeconds —
+     * they describe how the simulator executed, not the simulated
+     * machine.
+     */
+    std::uint64_t blocksDecoded = 0;
+    std::uint64_t blockHits = 0;
+    std::uint64_t blockInvalidations = 0;
+    /**
      * Wall-clock seconds spent executing the simulation proper.
      * Workload generation is excluded: workloads are cached and
      * shared, so charging generation to whichever run happens to

@@ -18,6 +18,7 @@ FastSim::FastSim(const Program &program, FastSimConfig config)
 {
     if (config_.preconEnabled) {
         config_.precon.policy.selection = config_.selection;
+        config_.precon.blockWalk = config_.blockCache;
         engine_ = std::make_unique<PreconstructionEngine>(
             program_, icache_, bimodal_, traceCache_,
             config_.precon);
@@ -76,6 +77,28 @@ FastSim::processTrace(const std::vector<DynInst> &window,
     if (config_.hooks.onTrace)
         config_.hooks.onTrace(trace, stored ? *stored : trace,
                               stored != nullptr);
+
+    // Block dispatch hands in an empty window: the commit-order
+    // events normally derived from it are reconstructed from the
+    // trace body instead, and must run before the body is donated
+    // to the trace cache below. The scalar path trains after the
+    // miss handling; hoisting is behaviour-identical because the
+    // commit events touch only bimodal_ and the engine's dispatch
+    // state, which the icache/trace-cache section neither reads nor
+    // writes — while the buffer probe above (the one engine
+    // interaction that must precede dispatch observation) has
+    // already happened in both orders.
+    if (window.empty() && engine_) {
+        for (const TraceInst &ti : trace.insts) {
+            if (ti.inst.isCondBranch())
+                bimodal_.update(ti.pc, ti.taken);
+            // The dispatch monitor reads only pc/inst/taken, all
+            // embedded in the trace: stored_taken equals the
+            // committed outcome for conditional branches, and the
+            // start-point heuristics ignore it everywhere else.
+            engine_->observeCommit(ti.pc, ti.inst, ti.taken);
+        }
+    }
 
     Cycle trace_cycles = 0;
     bool slow_path_busy = false;
@@ -174,6 +197,16 @@ FastSim::bufferedSeenIntersection() const
 const FastSimStats &
 FastSim::run(InstCount maxInsts)
 {
+    // Block dispatch requires windowless trace processing: an armed
+    // onCommit hook consumes full dynamic records (nextPc, effective
+    // addresses) that bulk retirement never materializes, so its
+    // presence forces the scalar loop.
+    if (config_.blockCache && !config_.hooks.onCommit) {
+        runBlocks(maxInsts);
+        finishRun();
+        return stats_;
+    }
+
     std::vector<DynInst> window;
     window.reserve(maxTraceLen);
 
@@ -193,6 +226,57 @@ FastSim::run(InstCount maxInsts)
 
     finishRun();
     return stats_;
+}
+
+void
+FastSim::runBlocks(InstCount maxInsts)
+{
+    // Bit-identity with the scalar loop rests on two facts. First,
+    // stats_.instructions only advances inside processTrace, so the
+    // scalar loop can only exit at a trace completion (or at a halt,
+    // which itself completes a trace); checking the budget after
+    // each completion reproduces its exit points exactly, including
+    // mid-block. Second, a straight-line body chunked to the
+    // builder's roomLeft() hits no selection rule before the
+    // chunk's last instruction, so feedRun() segments exactly as n
+    // feed() calls would.
+    if (!blocks_)
+        blocks_ = std::make_unique<BlockCache>(program_);
+    static const std::vector<DynInst> kNoWindow;
+
+    while (!core_.halted() && stats_.instructions < maxInsts) {
+        const DecodedBlock &block = blocks_->lookup(core_.pc());
+
+        unsigned done = 0;
+        while (done < block.bodyLen) {
+            const unsigned chunk =
+                std::min(block.bodyLen - done, segmenter_.roomLeft());
+            const Addr pc = core_.pc();
+            core_.execBody(block.insts + done, chunk);
+            if (auto trace = segmenter_.feedRun(block.insts + done,
+                                                pc, chunk)) {
+                processTrace(kNoWindow, std::move(*trace), false);
+                if (stats_.instructions >= maxInsts)
+                    return;     // budget spill, possibly mid-block
+            }
+            done += chunk;
+        }
+
+        if (block.end == BlockEnd::Clipped)
+            continue;
+        // The terminator goes through the scalar core: control
+        // transfers need the dynamic next-PC, the link-register
+        // write, and the halt flag, with semantics guaranteed
+        // identical by construction.
+        const DynInst &dyn = core_.step();
+        if (auto trace = segmenter_.feed(dyn))
+            processTrace(kNoWindow, std::move(*trace), false);
+    }
+
+    // Unreachable while the loop only exits at trace boundaries;
+    // kept so the two loops stay structurally parallel.
+    if (auto trace = segmenter_.flush())
+        processTrace(kNoWindow, std::move(*trace), true);
 }
 
 const FastSimStats &
@@ -228,6 +312,8 @@ FastSim::finishRun()
     stats_.icache = icache_.stats();
     if (engine_)
         stats_.precon = engine_->stats();
+    if (blocks_)
+        stats_.blocks = blocks_->stats();
     stats_.provenance = traceCache_.provenance();
     tpre_check_run(check::enforce(check::statsConserved(stats_),
                                   "FastSim end of run"));

@@ -20,6 +20,7 @@
 #include "bpred/bimodal.hh"
 #include "cache/icache.hh"
 #include "check/hooks.hh"
+#include "func/block_cache.hh"
 #include "func/core.hh"
 #include "precon/engine.hh"
 #include "trace/fill_unit.hh"
@@ -52,6 +53,17 @@ struct FastSimConfig
     bool trackTraceWorkingSet = false;
     /** Extra (slower) miss-classification diagnostics. */
     bool diagnostics = false;
+    /**
+     * Predecoded block dispatch (ROADMAP items 2a/2b): retire whole
+     * basic blocks in bulk instead of stepping instruction by
+     * instruction. Bit-identical statistics by construction; run()
+     * falls back to the scalar loop automatically when an onCommit
+     * hook is armed (consumers of per-instruction dynamic records —
+     * the differential oracle, .tpt dumping — need the effective
+     * addresses a bulk-retired body never materializes). Defaults
+     * to the TPRE_BLOCK_CACHE environment override (on when unset).
+     */
+    bool blockCache = blockCacheDefaultEnabled();
     /** Commit/trace taps for the tpre::check differential oracle. */
     check::SimHooks hooks;
 };
@@ -85,6 +97,13 @@ struct FastSimStats
     std::uint64_t missEverConstructed = 0;
     /** Per-origin trace-cache line provenance (copied at run end). */
     ProvenanceTable provenance;
+    /**
+     * Block-dispatch counters (decoded/hits/invalidations). Host-
+     * side bookkeeping like wallSeconds: they describe how the
+     * simulator executed, not what it simulated, so replay equality
+     * (check::fastStatsEqual) deliberately excludes them.
+     */
+    BlockCache::Stats blocks;
 
     /** The paper's favourite unit. */
     double missesPerKiloInst() const
@@ -140,10 +159,14 @@ class FastSim
     const TraceCache &traceCache() const { return traceCache_; }
     const PreconstructionEngine *engine() const
     { return engine_.get(); }
+    /** The block cache, when block dispatch is in use. */
+    const BlockCache *blockCache() const { return blocks_.get(); }
 
   private:
     void processTrace(const std::vector<DynInst> &window,
                       Trace &&trace, bool partial);
+    /** Block-granular main loop (see run()). */
+    void runBlocks(InstCount maxInsts);
     /** Shared run()/replay() epilogue: copy stats, check them. */
     void finishRun();
 
@@ -155,6 +178,7 @@ class FastSim
     BimodalPredictor bimodal_;
     FillUnit segmenter_;
     std::unique_ptr<PreconstructionEngine> engine_;
+    std::unique_ptr<BlockCache> blocks_;
     /**
      * Working-set tracking keys on the *full* trace identity, not
      * its 64-bit hash: a hash collision between distinct ids would

@@ -14,15 +14,15 @@ FillUnit::squash()
     builder_.abandon();
 }
 
-std::optional<Trace>
+Trace *
 FillUnit::flush()
 {
     if (!builder_.active() || builder_.len() == 0) {
         builder_.abandon();
-        return std::nullopt;
+        return nullptr;
     }
     TPRE_OBS_COUNT("fill.flushes");
-    return builder_.take();
+    return &builder_.finalize();
 }
 
 } // namespace tpre

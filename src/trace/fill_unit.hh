@@ -9,8 +9,6 @@
 #ifndef TPRE_TRACE_FILL_UNIT_HH
 #define TPRE_TRACE_FILL_UNIT_HH
 
-#include <optional>
-
 #include "func/core.hh"
 #include "obs/obs.hh"
 #include "trace/selector.hh"
@@ -30,9 +28,13 @@ class FillUnit
      * instruction.
      *
      * @return the completed trace when this instruction terminated
-     *         one, otherwise std::nullopt.
+     *         one, otherwise nullptr. The trace lives in the fill
+     *         unit's builder and stays valid until the next feed —
+     *         callers copy or move it onward immediately, which
+     *         spares the per-trace hand-off copy an optional
+     *         return forced.
      */
-    std::optional<Trace>
+    Trace *
     feed(const DynInst &dyn)
     {
         TPRE_OBS_COUNT("fill.insts");
@@ -42,9 +44,41 @@ class FillUnit
         const bool done =
             builder_.append(dyn.inst, dyn.pc, dyn.taken, dyn.nextPc);
         if (!done)
-            return std::nullopt;
+            return nullptr;
         TPRE_OBS_COUNT("fill.traces");
-        return builder_.take();
+        return &builder_.finalize();
+    }
+
+    /**
+     * Instructions the active trace can still take before the
+     * selection rules force termination; a full trace length when
+     * idle. Block dispatch chunks straight-line runs to this bound
+     * so each feedRun() completes at most one trace.
+     */
+    unsigned
+    roomLeft() const
+    {
+        return builder_.active() ? builder_.roomLeft()
+                                 : builder_.policy().maxLen;
+    }
+
+    /**
+     * Feed a straight-line run of @p n non-control instructions
+     * decoded at @p insts, first address @p pc — the bulk
+     * equivalent of n feed() calls (ROADMAP item 2b). Requires
+     * 1 <= n <= roomLeft(), so at most one trace completes.
+     * Same builder-owned return as feed().
+     */
+    Trace *
+    feedRun(const Instruction *insts, Addr pc, unsigned n)
+    {
+        TPRE_OBS_COUNT("fill.insts", n);
+        if (!builder_.active())
+            builder_.begin(pc);
+        if (!builder_.appendRun(insts, pc, n))
+            return nullptr;
+        TPRE_OBS_COUNT("fill.traces");
+        return &builder_.finalize();
     }
 
     /** Abandon the in-flight partial trace (pipeline squash). */
@@ -52,9 +86,9 @@ class FillUnit
 
     /**
      * Flush a non-empty partial trace (end of simulation); returns
-     * nullopt when idle.
+     * nullptr when idle. Same builder-owned return as feed().
      */
-    std::optional<Trace> flush();
+    Trace *flush();
 
     /** Is a trace currently being assembled? */
     bool building() const { return builder_.active(); }

@@ -1,5 +1,7 @@
 #include "trace/selector.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
 
 namespace tpre
@@ -25,11 +27,18 @@ TraceBuilder::begin(Addr startPc)
     trace_.preprocessed = false;
     active_ = true;
     lastBackward_ = -1;
+    targetLen_ = policy_.maxLen;
     nextPc_ = startPc;
 }
 
 Trace
 TraceBuilder::take()
+{
+    return std::move(finalize());
+}
+
+Trace &
+TraceBuilder::finalize()
 {
     tpre_assert(active_ && !trace_.insts.empty(),
                 "take() with no trace content");
@@ -45,7 +54,7 @@ TraceBuilder::take()
     // so every downstream probe (TC, buffers, working set) reuses
     // it.
     trace_.id.rehash();
-    return std::move(trace_);
+    return trace_;
 }
 
 void
@@ -54,6 +63,7 @@ TraceBuilder::abandon()
     active_ = false;
     trace_ = Trace();
     lastBackward_ = -1;
+    targetLen_ = policy_.maxLen;
 }
 
 } // namespace tpre

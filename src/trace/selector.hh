@@ -93,8 +93,10 @@ class TraceBuilder
                 trace_.id.branchFlags |=
                     std::uint16_t(1) << trace_.id.numBranches;
             ++trace_.id.numBranches;
-            if (inst.isBackwardBranch())
+            if (inst.isBackwardBranch()) {
                 lastBackward_ = static_cast<int>(len()) - 1;
+                targetLen_ = computeTargetLen();
+            }
         }
 
         // Rule 1: hard terminators.
@@ -130,11 +132,79 @@ class TraceBuilder
     }
 
     /**
+     * Instructions the length rules still allow before forcing
+     * termination (always >= 1 while active). Non-control
+     * instructions can neither hard-terminate a trace (rule 1) nor
+     * move the alignment target (rule 2 keys on backward branches),
+     * so a straight-line run of up to roomLeft() instructions is
+     * guaranteed to hit no termination rule before the last one —
+     * the invariant appendRun() builds on.
+     */
+    unsigned
+    roomLeft() const
+    {
+        tpre_assert(active_, "roomLeft() without begin()");
+        return targetLen() - static_cast<unsigned>(len());
+    }
+
+    /**
+     * Append a straight-line run of @p n non-control instructions
+     * whose pre-decoded image starts at @p insts and whose first
+     * address is @p pc (block dispatch, ROADMAP item 2b). Exactly
+     * equivalent to n append() calls — same stored records, same
+     * end reason, same fall-through — but the termination rules are
+     * evaluated once for the run instead of once per instruction.
+     * Requires 1 <= n <= roomLeft().
+     *
+     * @return true when the run filled the trace to its target
+     *         length; retrieve it with take().
+     */
+    bool
+    appendRun(const Instruction *insts, Addr pc, unsigned n)
+    {
+        tpre_assert(active_, "appendRun() without begin()");
+        tpre_assert(pc == nextPc_, "appendRun() off the embedded path");
+        const unsigned target = targetLen();
+        tpre_assert(n >= 1 && len() + n <= target,
+                    "appendRun() past trace end");
+        unsigned idx = static_cast<unsigned>(len());
+        for (unsigned i = 0; i < n; ++i) {
+            tpre_assert(!insts[i].isControl(),
+                        "appendRun() with a control transfer");
+            // stored_taken for non-control instructions normalizes
+            // to false, exactly as append() stores it.
+            trace_.insts.push_back(
+                {pc, insts[i], false,
+                 static_cast<std::uint8_t>(idx++)});
+            pc += instBytes;
+        }
+        nextPc_ = pc;
+        if (len() == target) {
+            trace_.endReason = (lastBackward_ >= 0 &&
+                                target != policy_.maxLen)
+                                   ? TraceEndReason::Alignment
+                                   : TraceEndReason::MaxLength;
+            trace_.fallThrough = pc;
+            return true;
+        }
+        return false;
+    }
+
+    /**
      * Finalize and return the completed trace; resets the builder.
      * Only legal after append() returned true, or for flushing a
      * non-empty partial trace at end of simulation.
      */
     Trace take();
+
+    /**
+     * Finalize the completed trace *in place*: identical to take()
+     * except the trace stays owned by the builder (valid until the
+     * next begin()/abandon()). Lets a caller that only copies the
+     * trace onward skip take()'s intermediate copy of the inline
+     * instruction storage.
+     */
+    Trace &finalize();
 
     /** Abandon the current partial trace. */
     void abandon();
@@ -142,9 +212,18 @@ class TraceBuilder
     const SelectionPolicy &policy() const { return policy_; }
 
   private:
-    /** Length at which rules 2/3 will terminate the current trace. */
+    /**
+     * Length at which rules 2/3 will terminate the current trace.
+     * Cached: it changes only at begin() and when a backward branch
+     * is appended, but is consulted on every append/appendRun (the
+     * recompute costs an integer division, which was measurable on
+     * the hot path).
+     */
+    unsigned targetLen() const { return targetLen_; }
+
+    /** Recompute the rule-2/3 termination length from scratch. */
     unsigned
-    targetLen() const
+    computeTargetLen() const
     {
         if (lastBackward_ < 0 || policy_.alignGranule == 0)
             return policy_.maxLen;
@@ -163,6 +242,8 @@ class TraceBuilder
     bool active_ = false;
     /** Position of the most recent backward branch, or -1. */
     int lastBackward_ = -1;
+    /** Cached computeTargetLen() for the current trace. */
+    unsigned targetLen_ = 0;
     Addr nextPc_ = invalidAddr;
 };
 

@@ -114,7 +114,7 @@ TraceCache::victimIn(std::size_t set)
 }
 
 const Trace *
-TraceCache::insert(Trace trace, bool servedAtInsert)
+TraceCache::insert(const Trace &trace, bool servedAtInsert)
 {
     tpre_assert(trace.id.valid(), "inserting invalid trace");
     TPRE_OBS_COUNT("tcache.fills");
@@ -122,7 +122,7 @@ TraceCache::insert(Trace trace, bool servedAtInsert)
     // Refresh in place when the identical trace is already present.
     if (Entry *existing = findEntry(trace.id)) {
         recordEviction(*existing, EvictReason::Refresh);
-        existing->trace = std::move(trace);
+        existing->trace = trace;
         existing->lastUse = tick();
         existing->hits = 0;
         if (servedAtInsert)
@@ -135,7 +135,7 @@ TraceCache::insert(Trace trace, bool servedAtInsert)
         recordEviction(victim, EvictReason::Capacity);
     }
     victim.valid = true;
-    victim.trace = std::move(trace);
+    victim.trace = trace;
     victim.lastUse = tick();
     victim.hits = 0;
     if (servedAtInsert)

@@ -51,7 +51,8 @@ class TraceCache
      *         (preconstruction-buffer promotion) need no second
      *         probe.
      */
-    const Trace *insert(Trace trace, bool servedAtInsert = false);
+    const Trace *insert(const Trace &trace,
+                        bool servedAtInsert = false);
 
     /** Remove a trace if present; returns true when removed. */
     bool invalidate(const TraceId &id);

@@ -120,14 +120,15 @@ UnifiedTraceCache::lookup(const TraceId &id) const
 }
 
 bool
-UnifiedTraceCache::insert(Trace trace, std::uint64_t regionSeq)
+UnifiedTraceCache::insert(const Trace &trace,
+                          std::uint64_t regionSeq)
 {
     tpre_assert(trace.id.valid());
     if (preconWays_ == 0)
         return false;
 
     if (Entry *existing = find(trace.id, true)) {
-        existing->trace = std::move(trace);
+        existing->trace = trace;
         existing->regionSeq = regionSeq;
         return true;
     }
@@ -160,7 +161,7 @@ UnifiedTraceCache::insert(Trace trace, std::uint64_t regionSeq)
     victim->valid = true;
     victim->precon = true;
     victim->regionSeq = regionSeq;
-    victim->trace = std::move(trace);
+    victim->trace = trace;
     victim->lastUse = ++useClock_;
     return true;
 }

@@ -66,7 +66,8 @@ class UnifiedTraceCache : public PreconStore
     // ---- precon side (PreconStore) ----
 
     const Trace *lookup(const TraceId &id) const override;
-    bool insert(Trace trace, std::uint64_t regionSeq) override;
+    bool insert(const Trace &trace,
+                std::uint64_t regionSeq) override;
     bool invalidate(const TraceId &id) override;
 
     // ---- partitioning ----

@@ -47,8 +47,10 @@ TEST(ParseTest, RejectsGarbageZeroNegativeAndOverflow)
                 testing::ExitedWithCode(1), "empty");
     EXPECT_EXIT(parsePositiveInt("0", "TPRE_INSTS"),
                 testing::ExitedWithCode(1), "> 0");
+    // Negatives fail the digits-only rule before the > 0 check.
     EXPECT_EXIT(parsePositiveInt("-5", "TPRE_INSTS"),
-                testing::ExitedWithCode(1), "> 0");
+                testing::ExitedWithCode(1),
+                "not a decimal integer");
     EXPECT_EXIT(parsePositiveInt("99999999999999999999",
                                  "TPRE_INSTS"),
                 testing::ExitedWithCode(1), "overflows");
@@ -75,11 +77,61 @@ TEST(ParseTest, PortDiesOnOutOfRangeAndGarbage)
                 testing::ExitedWithCode(1),
                 "TPRE_TELEMETRY_PORT.*8e3");
     EXPECT_EXIT(parsePort("-1", "TPRE_TELEMETRY_PORT"),
-                testing::ExitedWithCode(1), "> 0");
+                testing::ExitedWithCode(1),
+                "not a decimal integer");
     EXPECT_EXIT(parsePort("", "TPRE_TELEMETRY_PORT"),
                 testing::ExitedWithCode(1), "empty");
     EXPECT_EXIT(parsePort("metrics", "--telemetry-port"),
                 testing::ExitedWithCode(1), "metrics");
+}
+
+TEST(ParseTest, RejectsWhitespaceSignAndTrailingJunk)
+{
+    // Regression: strtoll accepts leading whitespace and an
+    // explicit '+', so " 5" and "+5" used to parse; the documented
+    // contract is digits only.
+    EXPECT_EXIT(parsePositiveInt(" 5", "TPRE_INSTS"),
+                testing::ExitedWithCode(1),
+                "not a decimal integer");
+    EXPECT_EXIT(parsePositiveInt("+5", "TPRE_INSTS"),
+                testing::ExitedWithCode(1),
+                "not a decimal integer");
+    EXPECT_EXIT(parsePositiveInt("\t5", "TPRE_INSTS"),
+                testing::ExitedWithCode(1),
+                "not a decimal integer");
+    EXPECT_EXIT(parsePositiveInt("5 ", "TPRE_INSTS"),
+                testing::ExitedWithCode(1),
+                "not a decimal integer");
+}
+
+TEST(ParseTest, UnsignedEnforcesRangeInsteadOfTruncating)
+{
+    // Regression: TPRE_HEARTBEAT_SECS went through a plain cast to
+    // unsigned, so 2^33 truncated to 0 (heartbeat off) instead of
+    // failing loudly.
+    EXPECT_EQ(parseUnsigned("3600", "TPRE_HEARTBEAT_SECS", 86400),
+              3600u);
+    EXPECT_EQ(parseUnsigned("86400", "TPRE_HEARTBEAT_SECS", 86400),
+              86400u);
+    EXPECT_EXIT(parseUnsigned("8589934592", "TPRE_HEARTBEAT_SECS",
+                              86400),
+                testing::ExitedWithCode(1), "exceeds the maximum");
+    EXPECT_EXIT(parseUnsigned("86401", "TPRE_HEARTBEAT_SECS", 86400),
+                testing::ExitedWithCode(1), "exceeds the maximum");
+}
+
+TEST(ParseTest, BenchmarkOutFlagMatchesExactFlagOnly)
+{
+    // Regression: rfind("--benchmark_out", 0) prefix-matched
+    // --benchmark_out_format, so a format-only invocation was
+    // treated as already having an output file and the default
+    // report silently vanished.
+    EXPECT_TRUE(isBenchmarkOutFlag("--benchmark_out"));
+    EXPECT_TRUE(isBenchmarkOutFlag("--benchmark_out=/tmp/r.json"));
+    EXPECT_FALSE(isBenchmarkOutFlag("--benchmark_out_format=json"));
+    EXPECT_FALSE(isBenchmarkOutFlag("--benchmark_out_format"));
+    EXPECT_FALSE(isBenchmarkOutFlag("--benchmark_filter=x"));
+    EXPECT_FALSE(isBenchmarkOutFlag(nullptr));
 }
 
 TEST(LoggingTest, ThreadTagPrefixesAndRestores)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "func/block_cache.hh"
 #include "func/core.hh"
 #include "isa/builder.hh"
 
@@ -517,6 +518,166 @@ TEST(FunctionalCoreTest, DynInstRecordsBranchOutcome)
     const DynInst &taken = core.step();
     EXPECT_TRUE(taken.taken);
     EXPECT_EQ(taken.nextPc, p.symbol("skip"));
+}
+
+// ---------------------------------------------------------------
+// BlockCache: predecoded basic blocks (ROADMAP 2a).
+// ---------------------------------------------------------------
+
+TEST(BlockCacheTest, DecodesBodyAndTerminator)
+{
+    ProgramBuilder b;
+    auto loop = b.newLabel("loop");
+    b.bind(loop);
+    b.addi(1, 1, 1);
+    b.addi(2, 2, 2);
+    b.addi(3, 3, 3);
+    b.bne(1, 0, loop);
+    b.halt();
+    Program p = b.build();
+
+    BlockCache blocks(p);
+    const DecodedBlock &block = blocks.lookup(p.entry());
+    EXPECT_EQ(block.leader, p.entry());
+    EXPECT_EQ(block.bodyLen, 3u);
+    EXPECT_EQ(block.end, BlockEnd::CondBranch);
+    EXPECT_EQ(block.len(), 4u);
+    EXPECT_EQ(block.terminatorPc(), p.entry() + 3 * instBytes);
+    EXPECT_EQ(block.target, p.symbol("loop"));
+    EXPECT_EQ(block.fallThrough, p.entry() + 4 * instBytes);
+    // insts aims into the program image: insts[i] is leader + 4i.
+    for (unsigned i = 0; i < block.bodyLen; ++i)
+        EXPECT_EQ(block.insts[i],
+                  p.instAt(p.entry() + i * instBytes));
+}
+
+TEST(BlockCacheTest, SingleInstructionBlocks)
+{
+    // Leaders that are themselves control transfers: empty body,
+    // terminator only.
+    ProgramBuilder b;
+    auto fn = b.newLabel("fn");
+    b.beq(0, 0, fn);   // entry: taken branch straight to fn
+    b.nop();
+    b.bind(fn);
+    b.ret();
+    Program p = b.build();
+
+    BlockCache blocks(p);
+    const DecodedBlock &branch = blocks.lookup(p.entry());
+    EXPECT_EQ(branch.bodyLen, 0u);
+    EXPECT_EQ(branch.end, BlockEnd::CondBranch);
+    EXPECT_EQ(branch.len(), 1u);
+    EXPECT_EQ(branch.terminatorPc(), p.entry());
+
+    const DecodedBlock &ret = blocks.lookup(p.symbol("fn"));
+    EXPECT_EQ(ret.bodyLen, 0u);
+    EXPECT_EQ(ret.end, BlockEnd::Return);
+    EXPECT_EQ(ret.fallThrough, invalidAddr);
+}
+
+TEST(BlockCacheTest, HaltEndsItsBlock)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.nop();
+    b.halt();
+    Program p = b.build();
+
+    BlockCache blocks(p);
+    const DecodedBlock &block = blocks.lookup(p.entry());
+    EXPECT_EQ(block.bodyLen, 2u);
+    EXPECT_EQ(block.end, BlockEnd::Halt);
+    EXPECT_EQ(block.fallThrough, invalidAddr);
+    EXPECT_EQ(block.target, invalidAddr);
+}
+
+TEST(BlockCacheTest, ClipsLongRunsAndChains)
+{
+    ProgramBuilder b;
+    for (unsigned i = 0; i < BlockCache::kMaxBlockLen + 8; ++i)
+        b.addi(1, 1, 1);
+    b.halt();
+    Program p = b.build();
+
+    BlockCache blocks(p);
+    const DecodedBlock &head = blocks.lookup(p.entry());
+    EXPECT_EQ(head.bodyLen, BlockCache::kMaxBlockLen);
+    EXPECT_EQ(head.end, BlockEnd::Clipped);
+    const Addr resume =
+        p.entry() + BlockCache::kMaxBlockLen * instBytes;
+    EXPECT_EQ(head.fallThrough, resume);
+
+    // A clipped block chains into the block at its fall-through.
+    const DecodedBlock &tail = blocks.lookup(resume);
+    EXPECT_EQ(tail.bodyLen, 8u);
+    EXPECT_EQ(tail.end, BlockEnd::Halt);
+}
+
+TEST(BlockCacheTest, CachesDecodedBlocks)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.halt();
+    Program p = b.build();
+
+    BlockCache blocks(p);
+    const DecodedBlock &first = blocks.lookup(p.entry());
+    const DecodedBlock &again = blocks.lookup(p.entry());
+    EXPECT_EQ(&first, &again);
+    EXPECT_EQ(blocks.stats().decoded, 1u);
+    EXPECT_EQ(blocks.stats().hits, 1u);
+}
+
+TEST(BlockCacheTest, RebindInvalidatesAfterImageReload)
+{
+    ProgramBuilder b1;
+    b1.nop();
+    b1.nop();
+    b1.halt();
+    Program p1 = b1.build();
+
+    ProgramBuilder b2;
+    b2.nop();
+    b2.halt();
+    Program p2 = b2.build();
+
+    BlockCache blocks(p1);
+    EXPECT_EQ(blocks.lookup(p1.entry()).bodyLen, 2u);
+
+    // Same entry address, different image: without the rebind the
+    // stale block would silently execute the old instructions.
+    blocks.rebind(p2);
+    EXPECT_EQ(blocks.stats().invalidations, 1u);
+    EXPECT_EQ(blocks.size(), 0u);
+    const DecodedBlock &fresh = blocks.lookup(p2.entry());
+    EXPECT_EQ(fresh.bodyLen, 1u);
+    EXPECT_EQ(&blocks.program(), &p2);
+    EXPECT_EQ(blocks.stats().decoded, 2u);
+}
+
+TEST(BlockCacheTest, ExecBodyMatchesScalarSteps)
+{
+    ProgramBuilder b;
+    b.li(1, 5);
+    b.addi(2, 1, 7);
+    b.add(3, 1, 2);
+    b.halt();
+    Program p = b.build();
+
+    FunctionalCore scalar(p);
+    FunctionalCore bulk(p);
+    BlockCache blocks(p);
+    const DecodedBlock &block = blocks.lookup(p.entry());
+    ASSERT_EQ(block.bodyLen, 3u);
+    bulk.execBody(block.insts, block.bodyLen);
+    for (unsigned i = 0; i < 3; ++i)
+        scalar.step();
+
+    EXPECT_EQ(bulk.pc(), scalar.pc());
+    EXPECT_EQ(bulk.instsExecuted(), scalar.instsExecuted());
+    for (RegIndex r = 0; r < 4; ++r)
+        EXPECT_EQ(bulk.state().reg(r), scalar.state().reg(r));
 }
 
 } // namespace

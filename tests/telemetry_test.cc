@@ -631,7 +631,7 @@ TEST(TraceBufDeathTest, RejectsGarbageAndUndersizedRings)
             setenv("TPRE_TRACE_BUF", "-4", 1);
             obs::traceRingCapacityFromEnv();
         },
-        testing::ExitedWithCode(1), "> 0");
+        testing::ExitedWithCode(1), "not a decimal integer");
 }
 
 // ---------------------------------------------------------------

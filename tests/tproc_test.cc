@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "check/stats_check.hh"
+#include "isa/builder.hh"
 #include "tproc/backend.hh"
 #include "tproc/fast_sim.hh"
 #include "tproc/processor.hh"
@@ -317,6 +319,87 @@ TEST(FastSimTest, TraceWorkingSetTracked)
     const FastSimStats &st = sim.run(100000);
     EXPECT_GT(st.traceWorkingSet, 10u);
     EXPECT_LT(st.traceWorkingSet, st.traces);
+}
+
+// ---------------------------------------------------------------
+// Block dispatch (ROADMAP 2b): fast-forward vs the scalar loop.
+// ---------------------------------------------------------------
+
+TEST(FastSimBlockDispatchTest, StatsBitIdenticalToScalarLoop)
+{
+    WorkloadGenerator gen(specint95Profile("li"));
+    auto wl = gen.generate();
+    FastSimConfig cfg;
+    cfg.preconEnabled = true;
+    cfg.precon.bufferEntries = 64;
+
+    cfg.blockCache = false;
+    FastSim scalar(wl.program, cfg);
+    const FastSimStats scalarStats = scalar.run(150000);
+
+    cfg.blockCache = true;
+    FastSim block(wl.program, cfg);
+    const FastSimStats &blockStats = block.run(150000);
+
+    const auto v = check::fastStatsEqual(scalarStats, blockStats);
+    EXPECT_FALSE(v.has_value()) << *v;
+    // The fast path actually ran: blocks decoded once, then hit.
+    EXPECT_GT(blockStats.blocks.decoded, 0u);
+    EXPECT_GT(blockStats.blocks.hits, blockStats.blocks.decoded);
+    EXPECT_EQ(scalarStats.blocks.decoded, 0u);
+}
+
+TEST(FastSimBlockDispatchTest, MidBlockBudgetSpillMatchesScalar)
+{
+    // A 40-instruction straight-line loop body: traces complete
+    // every 16 instructions, so the budget stop lands mid-block
+    // and the fast loop must spill back out exactly there.
+    ProgramBuilder b;
+    b.li(1, 1000);
+    auto loop = b.here();
+    for (int i = 0; i < 40; ++i)
+        b.addi(2, 2, 1);
+    b.addi(1, 1, -1);
+    b.bne(1, 0, loop);
+    b.halt();
+    Program p = b.build();
+
+    for (InstCount budget : {100u, 1000u, 1001u}) {
+        FastSimConfig cfg;
+        cfg.blockCache = false;
+        FastSim scalar(p, cfg);
+        const FastSimStats scalarStats = scalar.run(budget);
+
+        cfg.blockCache = true;
+        FastSim block(p, cfg);
+        const FastSimStats &blockStats = block.run(budget);
+
+        EXPECT_EQ(scalarStats.instructions, blockStats.instructions)
+            << "budget " << budget;
+        const auto v =
+            check::fastStatsEqual(scalarStats, blockStats);
+        EXPECT_FALSE(v.has_value()) << *v;
+    }
+}
+
+TEST(FastSimBlockDispatchTest, CommitHookForcesScalarLoop)
+{
+    // An armed onCommit hook needs full dynamic records, which bulk
+    // retirement never materializes — the block cache must stand
+    // down even when enabled.
+    WorkloadGenerator gen(specint95Profile("compress"));
+    auto wl = gen.generate();
+    FastSimConfig cfg;
+    cfg.blockCache = true;
+    InstCount committed = 0;
+    cfg.hooks.onCommit = [&committed](const DynInst &) {
+        ++committed;
+    };
+    FastSim sim(wl.program, cfg);
+    const FastSimStats &st = sim.run(50000);
+    EXPECT_EQ(st.blocks.decoded, 0u);
+    EXPECT_EQ(st.blocks.hits, 0u);
+    EXPECT_EQ(committed, st.instructions);
 }
 
 // ---------------------------------------------------------------

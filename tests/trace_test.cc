@@ -514,11 +514,11 @@ TEST(FillUnitTest, SquashDropsPartialTrace)
     dyn.pc = 0x1000;
     dyn.inst = alu();
     dyn.nextPc = 0x1004;
-    EXPECT_FALSE(fill.feed(dyn).has_value());
+    EXPECT_FALSE(fill.feed(dyn) != nullptr);
     EXPECT_TRUE(fill.building());
     fill.squash();
     EXPECT_FALSE(fill.building());
-    EXPECT_FALSE(fill.flush().has_value());
+    EXPECT_FALSE(fill.flush() != nullptr);
 }
 
 TEST(FillUnitTest, FlushReturnsPartialTrace)
@@ -530,7 +530,7 @@ TEST(FillUnitTest, FlushReturnsPartialTrace)
     dyn.nextPc = 0x1004;
     fill.feed(dyn);
     auto t = fill.flush();
-    ASSERT_TRUE(t.has_value());
+    ASSERT_TRUE(t != nullptr);
     EXPECT_EQ(t->len(), 1u);
 }
 

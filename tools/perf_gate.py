@@ -72,10 +72,27 @@ def evaluate(report, baseline, tolerance=2.0):
                    f"non-positive mips {ref!r}")
 
     floor = ref / tolerance
+    floor_src = f"tolerance {tolerance:g}x"
+    # Optional absolute per-benchmark floor: unlike the relative
+    # tolerance it does not scale with the committed reference, so
+    # it survives baseline refreshes and catches a slow drift the
+    # 2x band would let through.
+    if "mips_floor" in entry:
+        abs_floor = entry["mips_floor"]
+        if isinstance(abs_floor, bool) or \
+                not isinstance(abs_floor, (int, float)):
+            return 1, (f"perf gate: baseline entry for '{name}' has "
+                       f"non-numeric mips_floor {abs_floor!r}")
+        if abs_floor <= 0:
+            return 1, (f"perf gate: baseline entry for '{name}' has "
+                       f"non-positive mips_floor {abs_floor!r}")
+        if abs_floor > floor:
+            floor = float(abs_floor)
+            floor_src = "absolute mips_floor"
     verdict = "PASS" if mips >= floor else "FAIL"
     message = (f"perf gate [{verdict}]: {name} at {mips:.2f} MIPS, "
                f"baseline {ref:.2f}, floor {floor:.2f} "
-               f"(tolerance {tolerance:g}x)")
+               f"({floor_src})")
     return (0 if mips >= floor else 1), message
 
 

@@ -65,6 +65,41 @@ def test_custom_tolerance():
     assert code == 1
 
 
+# --- absolute per-benchmark floor -------------------------------
+
+def test_mips_floor_binds_when_above_tolerance_floor():
+    # ref 10, tolerance 2x -> relative floor 5; an absolute floor of
+    # 8 takes over and fails a 7 MIPS report the band would pass.
+    baseline = {"fig5": {"mips": 10.0, "mips_floor": 8.0}}
+    code, msg = evaluate(good_report(mips=7.0), baseline)
+    assert code == 1
+    assert "[FAIL]" in msg
+    assert "absolute mips_floor" in msg
+    code, msg = evaluate(good_report(mips=8.0), baseline)
+    assert code == 0, msg
+
+
+def test_mips_floor_below_tolerance_floor_is_inert():
+    baseline = {"fig5": {"mips": 10.0, "mips_floor": 3.0}}
+    code, msg = evaluate(good_report(mips=5.0), baseline)
+    assert code == 0, msg
+    assert "tolerance" in msg
+
+
+def test_mips_floor_malformed_values_are_errors():
+    for bad in ("fast", None, True, 0, -1):
+        baseline = {"fig5": {"mips": 10.0, "mips_floor": bad}}
+        code, msg = evaluate(good_report(), baseline)
+        assert code == 1, f"mips_floor={bad!r} accepted: {msg}"
+        assert "mips_floor" in msg
+
+
+def test_entry_without_mips_floor_unchanged():
+    code, msg = evaluate(good_report(mips=5.0), baseline_with())
+    assert code == 0, msg
+    assert "tolerance" in msg
+
+
 # --- new benchmark: warn and skip -------------------------------
 
 def test_new_benchmark_skips_with_warning():
