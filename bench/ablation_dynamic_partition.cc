@@ -78,7 +78,8 @@ main(int argc, char **argv)
                 return;
             }
 
-            const GeneratedWorkload &wl = sim.workload(name, 7);
+            const auto wlp = sim.workload(name, 7);
+            const GeneratedWorkload &wl = *wlp;
             PartitionSimConfig cfg;
             cfg.totalEntries = total;
             if (design <= 3) {

@@ -89,5 +89,45 @@ main(int argc, char **argv)
         std::printf("\n--- %s ---\n%s", name.c_str(),
                     table.render().c_str());
     }
+
+    // Warm-state reuse pass (TPRE_WARM_INSTS=W): re-run the same
+    // grid with every row forked from one shared W-instruction
+    // warm-up checkpoint per workload. Warm rows measure the
+    // [W, maxInsts) window SMARTS-style, so their miss rates are
+    // not comparable to the cold rows above; what this pass
+    // demonstrates is the wall-time cut from sharing the warm-up.
+    // Rows that cannot fork (e.g. W >= budget) fall back to cold
+    // and carry the reason in the JSON's warm_fallback field.
+    if (const char *env = std::getenv("TPRE_WARM_INSTS")) {
+        const InstCount warmInsts = static_cast<InstCount>(
+            parsePositiveInt(env, "TPRE_WARM_INSTS"));
+        std::vector<SimConfig> warmConfigs = configs;
+        for (SimConfig &cfg : warmConfigs)
+            cfg.warmupInsts = warmInsts;
+        const std::vector<SimResult> warmResults =
+            par::runParallelGrid(sim, warmConfigs,
+                                 harness.sweepOptions());
+
+        double coldWall = 0.0, warmWall = 0.0;
+        std::size_t forked = 0, fellBack = 0;
+        for (std::size_t i = 0; i < warmResults.size(); ++i) {
+            const SimResult &w = harness.record(warmResults[i]);
+            coldWall += results[i].wallSeconds;
+            warmWall += w.wallSeconds;
+            if (w.warm)
+                ++forked;
+            else
+                ++fellBack;
+        }
+        const double saved =
+            coldWall > 0.0
+                ? 100.0 * (coldWall - warmWall) / coldWall
+                : 0.0;
+        std::printf("\nwarm-state reuse (W=%llu): cold rows "
+                    "%.2fs, warm rows %.2fs (%.1f%% less wall "
+                    "time; %zu forked, %zu cold fallback)\n",
+                    static_cast<unsigned long long>(warmInsts),
+                    coldWall, warmWall, saved, forked, fellBack);
+    }
     return harness.finish();
 }

@@ -29,7 +29,8 @@ main(int argc, char **argv)
     Simulator sim;
 
     // First: characterize the workload's trace working set.
-    const GeneratedWorkload &wl = sim.workload(bench, 7);
+    const auto wlp = sim.workload(bench, 7);
+    const GeneratedWorkload &wl = *wlp;
     FastSimConfig probe_cfg;
     probe_cfg.trackTraceWorkingSet = true;
     FastSim probe(wl.program, probe_cfg);

@@ -12,9 +12,10 @@
 #define TPRE_BPRED_BIMODAL_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "common/types.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 
 namespace tpre
 {
@@ -33,7 +34,8 @@ class BimodalPredictor
 {
   public:
     /** @param entries Table size; must be a power of two. */
-    explicit BimodalPredictor(std::size_t entries = 16 * 1024);
+    explicit BimodalPredictor(std::size_t entries = 16 * 1024,
+                              mem::ArenaRef arena = {});
 
     // Predict, train and classify are all single table reads;
     // inline so the per-branch hot paths (slow-path training,
@@ -76,6 +78,10 @@ class BimodalPredictor
 
     void clear();
 
+    /** Checkpoint/restore the counter table. */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
   private:
     std::size_t
     indexOf(Addr pc) const
@@ -83,7 +89,7 @@ class BimodalPredictor
         return static_cast<std::size_t>(pc / instBytes) & mask_;
     }
 
-    std::vector<std::uint8_t> table_;
+    mem::ArenaVector<std::uint8_t> table_;
     std::size_t mask_;
 };
 

@@ -3,9 +3,23 @@
 namespace tpre
 {
 
-ICache::ICache(ICacheConfig config)
-    : config_(config), tags_(config.geometry)
+ICache::ICache(ICacheConfig config, mem::ArenaRef arena)
+    : config_(config), tags_(config.geometry, arena)
 {
+}
+
+void
+ICache::save(mem::ByteWriter &w) const
+{
+    tags_.save(w);
+    w.put(stats_);
+}
+
+void
+ICache::restore(mem::ByteReader &r)
+{
+    tags_.restore(r);
+    stats_ = r.get<Stats>();
 }
 
 ICache::AccessResult

@@ -45,7 +45,8 @@ class ICache
         { return demandMisses + preconMisses; }
     };
 
-    explicit ICache(ICacheConfig config = {});
+    explicit ICache(ICacheConfig config = {},
+                    mem::ArenaRef arena = {});
 
     /**
      * Fetch the line containing @p addr. @p for_precon marks
@@ -63,6 +64,10 @@ class ICache
     const ICacheConfig &config() const { return config_; }
 
     void clear();
+
+    /** Checkpoint/restore tags and counters. */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
 
   private:
     ICacheConfig config_;

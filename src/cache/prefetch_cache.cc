@@ -7,13 +7,36 @@
 namespace tpre
 {
 
-PrefetchCache::PrefetchCache(unsigned capacityInsts)
-    : capacityLines_(capacityInsts / instsPerLine)
+PrefetchCache::PrefetchCache(unsigned capacityInsts,
+                             mem::ArenaRef arena)
+    : capacityLines_(capacityInsts / instsPerLine),
+      lines_(mem::ArenaAllocator<Addr>(arena))
 {
     tpre_assert(capacityInsts >= instsPerLine &&
                 capacityInsts % instsPerLine == 0,
                 "capacity must be a whole number of lines");
     lines_.reserve(capacityLines_);
+}
+
+void
+PrefetchCache::save(mem::ByteWriter &w) const
+{
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(lines_.size()));
+    w.putBytes(lines_.data(), lines_.size() * sizeof(Addr));
+}
+
+void
+PrefetchCache::restore(mem::ByteReader &r)
+{
+    const auto n = r.get<std::uint32_t>();
+    if (n > capacityLines_) {
+        fatal("PrefetchCache::restore: %u lines exceed the %u-line "
+              "capacity",
+              n, capacityLines_);
+    }
+    lines_.resize(n);
+    r.getBytes(lines_.data(), n * sizeof(Addr));
 }
 
 bool

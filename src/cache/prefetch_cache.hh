@@ -11,9 +11,9 @@
 #ifndef TPRE_CACHE_PREFETCH_CACHE_HH
 #define TPRE_CACHE_PREFETCH_CACHE_HH
 
-#include <vector>
-
 #include "common/types.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 
 namespace tpre
 {
@@ -23,7 +23,8 @@ class PrefetchCache
 {
   public:
     /** @param capacityInsts Capacity in instructions (paper: 256). */
-    explicit PrefetchCache(unsigned capacityInsts = 256);
+    explicit PrefetchCache(unsigned capacityInsts = 256,
+                           mem::ArenaRef arena = {});
 
     Addr lineAddr(Addr addr) const
     { return addr & ~static_cast<Addr>(lineBytes - 1); }
@@ -59,10 +60,14 @@ class PrefetchCache
     /** Empty the cache for reuse by a new region. */
     void clear() { lines_.clear(); }
 
+    /** Checkpoint/restore the resident line set. */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
   private:
     unsigned capacityLines_;
     /** Small (<= 16 entries): linear search beats hashing here. */
-    std::vector<Addr> lines_;
+    mem::ArenaVector<Addr> lines_;
 };
 
 } // namespace tpre

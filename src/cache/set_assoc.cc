@@ -6,8 +6,10 @@
 namespace tpre
 {
 
-SetAssocCache::SetAssocCache(CacheGeometry geometry)
-    : geometry_(geometry)
+SetAssocCache::SetAssocCache(CacheGeometry geometry,
+                             mem::ArenaRef arena)
+    : geometry_(geometry),
+      lines_(mem::ArenaAllocator<Line>(arena))
 {
     tpre_assert(geometry_.assoc >= 1);
     tpre_assert(geometry_.lineBytes > 0 &&
@@ -78,6 +80,27 @@ SetAssocCache::invalidate(Addr addr)
         if (line->valid && line->tag == tag)
             line->valid = false;
     }
+}
+
+void
+SetAssocCache::save(mem::ByteWriter &w) const
+{
+    w.put<std::uint64_t>(lines_.size());
+    w.putBytes(lines_.data(), lines_.size() * sizeof(Line));
+    w.put(useClock_);
+}
+
+void
+SetAssocCache::restore(mem::ByteReader &r)
+{
+    const auto n = r.get<std::uint64_t>();
+    if (n != lines_.size()) {
+        fatal("SetAssocCache::restore: %llu lines in checkpoint, "
+              "%zu configured",
+              static_cast<unsigned long long>(n), lines_.size());
+    }
+    r.getBytes(lines_.data(), lines_.size() * sizeof(Line));
+    useClock_ = r.get<std::uint64_t>();
 }
 
 void

@@ -10,9 +10,10 @@
 #define TPRE_CACHE_SET_ASSOC_HH
 
 #include <cstddef>
-#include <vector>
 
 #include "common/types.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 
 namespace tpre
 {
@@ -32,7 +33,8 @@ struct CacheGeometry
 class SetAssocCache
 {
   public:
-    explicit SetAssocCache(CacheGeometry geometry);
+    explicit SetAssocCache(CacheGeometry geometry,
+                           mem::ArenaRef arena = {});
 
     /** Line-aligned address of the line containing @p addr. */
     Addr lineAddr(Addr addr) const
@@ -57,6 +59,10 @@ class SetAssocCache
 
     const CacheGeometry &geometry() const { return geometry_; }
 
+    /** Checkpoint/restore the tag array and LRU clock. */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
   private:
     struct Line
     {
@@ -69,7 +75,7 @@ class SetAssocCache
 
     CacheGeometry geometry_;
     std::size_t numSets_;
-    std::vector<Line> lines_;
+    mem::ArenaVector<Line> lines_;
     std::uint64_t useClock_ = 0;
 };
 

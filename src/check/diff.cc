@@ -1,9 +1,12 @@
 #include "check/diff.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "check/stats_check.hh"
 #include "isa/disasm.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 #include "trace/fill_unit.hh"
 #include "tracefmt/reader.hh"
 #include "tracefmt/replay.hh"
@@ -324,6 +327,85 @@ diffModels(const Program &program, const DiffConfig &cfg)
         }
         if (auto f = prefixed("block-dispatch",
                               statsConserved(stats))) {
+            result.failure = f;
+            return result;
+        }
+    }
+
+    // --- Arena allocation ---------------------------------------
+    // Re-run the same configuration hookless with every container
+    // backed by a run-local arena. The arena is a pure allocation
+    // strategy: every statistic must come out bit-identical to the
+    // global-allocator run, and the run must still reconcile and
+    // conserve. The arena is destroyed on scope exit, after the
+    // simulator.
+    {
+        mem::Arena arena;
+        FastSimConfig acfg;
+        acfg.traceCacheEntries = cfg.traceCacheEntries;
+        acfg.traceCacheAssoc = cfg.traceCacheAssoc;
+        acfg.selection = cfg.selection;
+        acfg.preconEnabled = cfg.preconEnabled;
+        acfg.precon = cfg.precon;
+        acfg.arena = arena;
+
+        {
+            FastSim sim(program, acfg);
+            const ObsCounters before = ObsCounters::captureThread();
+            const FastSimStats &stats = sim.run(cfg.maxInsts);
+            const ObsCounters delta =
+                ObsCounters::captureThread() - before;
+
+            if (auto f = prefixed("arena",
+                                  obsReconcilesFast(delta, stats))) {
+                result.failure = f;
+                return result;
+            }
+            if (auto f = prefixed("arena",
+                                  fastStatsEqual(liveStats,
+                                                 stats))) {
+                result.failure = f;
+                return result;
+            }
+            if (auto f = prefixed("arena", statsConserved(stats))) {
+                result.failure = f;
+                return result;
+            }
+        }
+    }
+
+    // --- Checkpoint fork ----------------------------------------
+    // Snapshot a run mid-flight (an arbitrary core-instruction
+    // point, typically mid-trace), serialize the checkpoint to
+    // bytes, restore the bytes into a fresh simulator, and run the
+    // fork to the same budget. The forked run's statistics must be
+    // bit-identical to the uninterrupted run's. Obs counters are
+    // not reconciled here: the fork only performs the second half
+    // of the work, so its thread-local deltas cover a partial run
+    // by design.
+    {
+        FastSimConfig ccfg;
+        ccfg.traceCacheEntries = cfg.traceCacheEntries;
+        ccfg.traceCacheAssoc = cfg.traceCacheAssoc;
+        ccfg.selection = cfg.selection;
+        ccfg.preconEnabled = cfg.preconEnabled;
+        ccfg.precon = cfg.precon;
+
+        FastSim donor(program, ccfg);
+        donor.runUntil(std::max<InstCount>(1, cfg.maxInsts / 2));
+        const mem::Checkpoint saved =
+            donor.checkpoint(mem::CheckpointKind::Full);
+
+        // Round-trip through the wire format so the category also
+        // proves the buffer is relocatable.
+        const mem::Checkpoint restored =
+            mem::Checkpoint::deserialize(saved.serialize());
+
+        FastSim forked(program, ccfg);
+        forked.forkFrom(restored);
+        const FastSimStats &stats = forked.run(cfg.maxInsts);
+        if (auto f = prefixed("checkpoint",
+                              fastStatsEqual(liveStats, stats))) {
             result.failure = f;
             return result;
         }

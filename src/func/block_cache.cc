@@ -120,7 +120,9 @@ BlockCache::rehash(std::size_t newCapacity)
 {
     tpre_assert((newCapacity & (newCapacity - 1)) == 0,
                 "block table capacity must be a power of two");
-    std::vector<Slot> fresh(newCapacity);
+    // Stay on the owning allocator (arena or global) across growth.
+    mem::ArenaVector<Slot> fresh(newCapacity,
+                                 slots_.get_allocator());
     const std::size_t mask = newCapacity - 1;
     for (const Slot &slot : slots_) {
         if (slot.leader == kEmptySlot)

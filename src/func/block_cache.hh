@@ -25,10 +25,9 @@
 #define TPRE_FUNC_BLOCK_CACHE_HH
 
 #include <cstdint>
-#include <deque>
-#include <vector>
 
 #include "isa/program.hh"
+#include "mem/arena.hh"
 
 namespace tpre
 {
@@ -113,7 +112,12 @@ class BlockCache
         std::uint64_t invalidations = 0;
     };
 
-    explicit BlockCache(const Program &program) : program_(&program) {}
+    explicit BlockCache(const Program &program,
+                        mem::ArenaRef arena = {})
+        : program_(&program),
+          pool_(mem::ArenaAllocator<DecodedBlock>(arena)),
+          slots_(mem::ArenaAllocator<Slot>(arena))
+    {}
 
     BlockCache(const BlockCache &) = delete;
     BlockCache &operator=(const BlockCache &) = delete;
@@ -164,9 +168,9 @@ class BlockCache
 
     const Program *program_;
     /** Block storage; deque keeps addresses stable on growth. */
-    std::deque<DecodedBlock> pool_;
+    mem::ArenaDeque<DecodedBlock> pool_;
     /** Open-addressing leader table (linear probing). */
-    std::vector<Slot> slots_;
+    mem::ArenaVector<Slot> slots_;
     std::size_t slotMask_ = 0;
     Stats stats_;
 };

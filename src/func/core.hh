@@ -21,6 +21,9 @@ namespace tpre
 /** Architectural register file plus data memory. */
 struct ArchState
 {
+    ArchState() = default;
+    explicit ArchState(mem::ArenaRef arena) : mem(arena) {}
+
     std::array<RegValue, numArchRegs> regs = {};
     Memory mem;
 
@@ -205,10 +208,15 @@ class FunctionalCore
     /** Initial stack pointer handed to programs on reset. */
     static constexpr Addr initialStack = 0x8000'0000;
 
-    explicit FunctionalCore(const Program &program);
+    explicit FunctionalCore(const Program &program,
+                            mem::ArenaRef arena = {});
 
     /** Restart execution from the program entry with cleared state. */
     void reset();
+
+    /** Checkpoint the architectural state and the run cursor. */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
 
     /**
      * Execute one instruction and return its dynamic record. Must

@@ -68,7 +68,11 @@ Memory::rehash(std::size_t newCapacity)
 {
     tpre_assert((newCapacity & (newCapacity - 1)) == 0,
                 "page table capacity must be a power of two");
-    std::vector<Slot> fresh(newCapacity);
+    // The replacement table must come from the same allocator as
+    // the one it replaces, or an arena-backed Memory would silently
+    // migrate its hottest structure to the global heap on growth.
+    mem::ArenaVector<Slot> fresh(newCapacity,
+                                 slots_.get_allocator());
     const std::size_t mask = newCapacity - 1;
     for (const Slot &slot : slots_) {
         if (slot.pageNum == kEmptySlot)
@@ -80,6 +84,43 @@ Memory::rehash(std::size_t newCapacity)
     }
     slots_ = std::move(fresh);
     slotMask_ = mask;
+}
+
+void
+Memory::save(mem::ByteWriter &w) const
+{
+    // Recover each pool entry's page number from the slot table so
+    // pages can be written in allocation order. The scan is
+    // quadratic in the page count, which is fine off the hot path:
+    // checkpointing happens once per warm-up, not per access.
+    w.put<std::uint64_t>(pool_.size());
+    for (const Page &page : pool_) {
+        Addr num = kEmptySlot;
+        for (const Slot &slot : slots_) {
+            if (slot.page == &page) {
+                num = slot.pageNum;
+                break;
+            }
+        }
+        tpre_assert(num != kEmptySlot,
+                    "page pool entry missing from the slot table");
+        w.put(num);
+        w.putBytes(page.words, sizeof(page.words));
+    }
+}
+
+void
+Memory::restore(mem::ByteReader &r)
+{
+    clear();
+    const auto n = r.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto num = r.get<Addr>();
+        Page &page = findOrCreate(num);
+        r.getBytes(page.words, sizeof(page.words));
+    }
+    mruNum_ = kEmptySlot;
+    mruPage_ = nullptr;
 }
 
 void

@@ -19,10 +19,10 @@
 #define TPRE_FUNC_MEMORY_HH
 
 #include <cstdint>
-#include <deque>
-#include <vector>
 
 #include "common/types.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 
 namespace tpre
 {
@@ -37,7 +37,10 @@ class Memory
     /** Page-table slots allocated on first write (power of two). */
     static constexpr std::size_t initialSlots = 64;
 
-    Memory() = default;
+    explicit Memory(mem::ArenaRef arena = {})
+        : pool_(mem::ArenaAllocator<Page>(arena)),
+          slots_(mem::ArenaAllocator<Slot>(arena))
+    {}
 
     // Pages live in a stable pool; moving is fine, copying is not
     // meaningful for a simulation component.
@@ -85,6 +88,15 @@ class Memory
     /** Drop all contents. */
     void clear();
 
+    /**
+     * Checkpoint the page set. Pages are recorded in allocation
+     * order with their page numbers, so restore() replays the
+     * exact insertion sequence and reproduces the original slot
+     * layout (and therefore every future probe/growth decision).
+     */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
   private:
     struct Page
     {
@@ -115,9 +127,9 @@ class Memory
     void rehash(std::size_t newCapacity);
 
     /** Page storage; deque keeps page addresses stable on growth. */
-    std::deque<Page> pool_;
+    mem::ArenaDeque<Page> pool_;
     /** Open-addressing page table (linear probing). */
-    std::vector<Slot> slots_;
+    mem::ArenaVector<Slot> slots_;
     std::size_t slotMask_ = 0;
 
     /** One-entry MRU cache (kEmptySlot = invalid). */

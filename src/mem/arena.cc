@@ -1,0 +1,183 @@
+#include "mem/arena.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/obs.hh"
+
+// ASan interface: poison retired arena ranges so use-after-free of
+// arena-backed objects is caught like a normal heap bug. Compiled
+// to no-ops when ASan is absent.
+#if defined(__SANITIZE_ADDRESS__)
+#define TPRE_MEM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TPRE_MEM_ASAN 1
+#endif
+#endif
+
+#ifdef TPRE_MEM_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace tpre::mem
+{
+
+bool
+arenaDefaultEnabled()
+{
+    const char *env = std::getenv("TPRE_ARENA");
+    if (!env)
+        return true;
+    if (env[0] == '0' && env[1] == '\0')
+        return false;
+    if (env[0] == '1' && env[1] == '\0')
+        return true;
+    fatal("TPRE_ARENA: '%s' is not 0 or 1", env);
+}
+
+namespace detail
+{
+
+void
+countGlobalAlloc(std::size_t bytes)
+{
+    TPRE_OBS_COUNT("alloc.count");
+    TPRE_OBS_COUNT("alloc.bytes", bytes);
+}
+
+void
+poison(void *p, std::size_t n)
+{
+#ifdef TPRE_MEM_ASAN
+    ASAN_POISON_MEMORY_REGION(p, n);
+#else
+    (void)p;
+    (void)n;
+#endif
+}
+
+void
+unpoison(void *p, std::size_t n)
+{
+#ifdef TPRE_MEM_ASAN
+    ASAN_UNPOISON_MEMORY_REGION(p, n);
+#else
+    (void)p;
+    (void)n;
+#endif
+}
+
+} // namespace detail
+
+Arena::Arena(std::size_t chunkBytes, std::size_t capBytes)
+    : chunkBytes_(chunkBytes), capBytes_(capBytes)
+{
+    tpre_assert(chunkBytes_ > 0, "Arena chunk size must be nonzero");
+}
+
+Arena::~Arena() { releaseAll(); }
+
+Arena::Chunk *
+Arena::newChunk(std::size_t capacity)
+{
+    if (capBytes_ && reserved_ + capacity > capBytes_) {
+        fatal("mem::Arena exhausted: %zu reserved + %zu requested "
+              "exceeds the %zu-byte cap",
+              reserved_, capacity, capBytes_);
+    }
+    detail::countGlobalAlloc(sizeof(Chunk) + capacity);
+    void *raw = ::operator new(sizeof(Chunk) + capacity);
+    Chunk *chunk = static_cast<Chunk *>(raw);
+    chunk->next = nullptr;
+    chunk->capacity = capacity;
+    reserved_ += capacity;
+    ++stats_.chunkCount;
+    stats_.chunkBytes += capacity;
+    return chunk;
+}
+
+void *
+Arena::allocate(std::size_t bytes, std::size_t align)
+{
+    tpre_assert(align != 0 && (align & (align - 1)) == 0,
+                "Arena alignment must be a power of two");
+    if (bytes > kMaxAllocBytes) {
+        fatal("mem::Arena: oversized allocation of %zu bytes "
+              "(limit %zu)",
+              bytes, kMaxAllocBytes);
+    }
+    if (bytes == 0)
+        bytes = 1;
+
+    for (;;) {
+        if (cur_) {
+            // Align the address, not just the offset: the payload
+            // base is only max_align_t-aligned, so stricter
+            // requests (e.g. cache-line alignment) need the slack
+            // computed against the real pointer value.
+            unsigned char *base = payload(cur_);
+            const std::uintptr_t raw =
+                reinterpret_cast<std::uintptr_t>(base) + used_;
+            const std::size_t aligned =
+                ((raw + align - 1) & ~(std::uintptr_t(align) - 1)) -
+                reinterpret_cast<std::uintptr_t>(base);
+            if (aligned + bytes <= cur_->capacity) {
+                unsigned char *p = base + aligned;
+                used_ = aligned + bytes;
+                ++stats_.allocCount;
+                stats_.allocBytes += bytes;
+                detail::unpoison(p, bytes);
+                return p;
+            }
+            // Current chunk is full; move to a retained successor
+            // if one exists, else fall through to a refill.
+            if (cur_->next) {
+                cur_ = cur_->next;
+                used_ = 0;
+                continue;
+            }
+        }
+        // Refill. Requests bigger than the standard chunk get a
+        // dedicated chunk of exactly the right size (plus
+        // alignment slack), keeping the bump math uniform.
+        Chunk *chunk =
+            newChunk(bytes > chunkBytes_ ? bytes + align
+                                         : chunkBytes_);
+        if (cur_) {
+            chunk->next = cur_->next;
+            cur_->next = chunk;
+        } else {
+            chunk->next = head_;
+            head_ = chunk;
+        }
+        cur_ = chunk;
+        used_ = 0;
+    }
+}
+
+void
+Arena::reset()
+{
+    for (Chunk *c = head_; c; c = c->next)
+        detail::poison(payload(c), c->capacity);
+    cur_ = head_;
+    used_ = 0;
+    ++stats_.resets;
+}
+
+void
+Arena::releaseAll()
+{
+    for (Chunk *c = head_; c;) {
+        Chunk *next = c->next;
+        detail::unpoison(payload(c), c->capacity);
+        ::operator delete(static_cast<void *>(c));
+        c = next;
+    }
+    head_ = cur_ = nullptr;
+    used_ = 0;
+    reserved_ = 0;
+}
+
+} // namespace tpre::mem

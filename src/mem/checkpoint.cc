@@ -1,0 +1,50 @@
+#include "mem/checkpoint.hh"
+
+namespace tpre::mem
+{
+
+std::vector<std::uint8_t>
+Checkpoint::serialize() const
+{
+    ByteWriter w;
+    w.put(kMagic);
+    w.put(kVersion);
+    w.put(static_cast<std::uint8_t>(kind));
+    w.put(configSig);
+    w.put(static_cast<std::uint64_t>(bytes.size()));
+    w.putBytes(bytes.data(), bytes.size());
+    return w.take();
+}
+
+Checkpoint
+Checkpoint::deserialize(const std::vector<std::uint8_t> &buffer)
+{
+    ByteReader r(buffer);
+    const auto magic = r.get<std::uint32_t>();
+    if (magic != kMagic)
+        fatal("mem::Checkpoint: bad magic 0x%08x", magic);
+    const auto version = r.get<std::uint16_t>();
+    if (version != kVersion) {
+        fatal("mem::Checkpoint: unsupported version %u (expected "
+              "%u)",
+              version, kVersion);
+    }
+    Checkpoint ck;
+    const auto kind = r.get<std::uint8_t>();
+    if (kind > static_cast<std::uint8_t>(CheckpointKind::Functional))
+        fatal("mem::Checkpoint: unknown kind %u", kind);
+    ck.kind = static_cast<CheckpointKind>(kind);
+    ck.configSig = r.get<std::uint64_t>();
+    const auto payload = r.get<std::uint64_t>();
+    if (payload != r.remaining()) {
+        fatal("mem::Checkpoint: payload length %llu does not match "
+              "the %zu trailing bytes",
+              static_cast<unsigned long long>(payload),
+              r.remaining());
+    }
+    ck.bytes.resize(payload);
+    r.getBytes(ck.bytes.data(), payload);
+    return ck;
+}
+
+} // namespace tpre::mem

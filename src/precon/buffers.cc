@@ -8,13 +8,51 @@ namespace tpre
 {
 
 PreconstructionBuffers::PreconstructionBuffers(std::size_t numEntries,
-                                               unsigned assoc)
-    : assoc_(assoc)
+                                               unsigned assoc,
+                                               mem::ArenaRef arena)
+    : assoc_(assoc), entries_(mem::ArenaAllocator<Entry>(arena))
 {
     tpre_assert(assoc >= 1);
     tpre_assert(numEntries >= assoc && numEntries % assoc == 0);
     numSets_ = numEntries / assoc;
     entries_.resize(numEntries);
+}
+
+void
+PreconstructionBuffers::save(mem::ByteWriter &w) const
+{
+    w.put<std::uint64_t>(entries_.size());
+    w.put(assoc_);
+    for (const Entry &entry : entries_) {
+        w.put(entry.valid);
+        if (!entry.valid)
+            continue;
+        w.put(entry.regionSeq);
+        saveTrace(w, entry.trace);
+    }
+}
+
+void
+PreconstructionBuffers::restore(mem::ByteReader &r)
+{
+    const auto n = r.get<std::uint64_t>();
+    const auto assoc = r.get<unsigned>();
+    if (n != entries_.size() || assoc != assoc_) {
+        fatal("PreconstructionBuffers::restore: geometry %llux%u "
+              "does not match the configured %zux%u",
+              static_cast<unsigned long long>(n), assoc,
+              entries_.size(), assoc_);
+    }
+    for (Entry &entry : entries_) {
+        entry.valid = r.get<bool>();
+        if (!entry.valid) {
+            entry.regionSeq = 0;
+            entry.trace = Trace();
+            continue;
+        }
+        entry.regionSeq = r.get<std::uint64_t>();
+        restoreTrace(r, entry.trace);
+    }
 }
 
 std::size_t

@@ -13,8 +13,9 @@
 #define TPRE_PRECON_BUFFERS_HH
 
 #include <functional>
-#include <vector>
 
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 #include "trace/trace.hh"
 
 namespace tpre
@@ -48,7 +49,8 @@ class PreconStore
 class PreconstructionBuffers : public PreconStore
 {
   public:
-    PreconstructionBuffers(std::size_t numEntries, unsigned assoc = 2);
+    PreconstructionBuffers(std::size_t numEntries, unsigned assoc = 2,
+                           mem::ArenaRef arena = {});
 
     /**
      * Probe for a trace (accessed in parallel with the trace
@@ -86,6 +88,10 @@ class PreconstructionBuffers : public PreconStore
     std::size_t sizeBytes() const
     { return entries_.size() * maxTraceLen * instBytes; }
 
+    /** Checkpoint/restore every entry and its region ownership. */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
   private:
     struct Entry
     {
@@ -98,7 +104,7 @@ class PreconstructionBuffers : public PreconStore
 
     unsigned assoc_;
     std::size_t numSets_;
-    std::vector<Entry> entries_;
+    mem::ArenaVector<Entry> entries_;
 };
 
 } // namespace tpre

@@ -10,10 +10,58 @@ namespace tpre
 PreconConstructor::PreconConstructor(const Program &program,
                                      const BimodalPredictor &bimodal,
                                      const PreconPolicy &policy,
-                                     bool bulkWalk)
+                                     bool bulkWalk,
+                                     mem::ArenaRef arena)
     : program_(program), bimodal_(bimodal), policy_(policy),
-      bulkWalk_(bulkWalk), builder_(policy.selection)
+      bulkWalk_(bulkWalk), builder_(policy.selection),
+      pendingPaths_(mem::ArenaAllocator<DecisionPath>(arena)),
+      callStack_(mem::ArenaAllocator<Addr>(arena))
 {
+}
+
+void
+PreconConstructor::save(mem::ByteWriter &w) const
+{
+    w.put(startPc_);
+    builder_.save(w);
+    w.put(pc_);
+    w.put(decisions_);
+    w.put<std::uint64_t>(decIndex_);
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(pendingPaths_.size()));
+    w.putBytes(pendingPaths_.data(),
+               pendingPaths_.size() * sizeof(DecisionPath));
+    w.put(forkBudget_);
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(callStack_.size()));
+    w.putBytes(callStack_.data(), callStack_.size() * sizeof(Addr));
+    w.put(callStackBroken_);
+    w.put(tracesFromStart_);
+    w.put(pathActive_);
+    w.put(stalled_);
+    w.put<std::uint64_t>(stallFill_);
+}
+
+void
+PreconConstructor::restore(mem::ByteReader &r, Region *region)
+{
+    region_ = region;
+    startPc_ = r.get<Addr>();
+    builder_.restore(r);
+    pc_ = r.get<Addr>();
+    decisions_ = r.get<DecisionPath>();
+    decIndex_ = static_cast<std::size_t>(r.get<std::uint64_t>());
+    pendingPaths_.resize(r.get<std::uint32_t>());
+    r.getBytes(pendingPaths_.data(),
+               pendingPaths_.size() * sizeof(DecisionPath));
+    forkBudget_ = r.get<unsigned>();
+    callStack_.resize(r.get<std::uint32_t>());
+    r.getBytes(callStack_.data(), callStack_.size() * sizeof(Addr));
+    callStackBroken_ = r.get<bool>();
+    tracesFromStart_ = r.get<unsigned>();
+    pathActive_ = r.get<bool>();
+    stalled_ = r.get<bool>();
+    stallFill_ = static_cast<std::size_t>(r.get<std::uint64_t>());
 }
 
 void

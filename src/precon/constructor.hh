@@ -12,10 +12,10 @@
 #ifndef TPRE_PRECON_CONSTRUCTOR_HH
 #define TPRE_PRECON_CONSTRUCTOR_HH
 
-#include <vector>
-
 #include "bpred/bimodal.hh"
 #include "isa/program.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 #include "precon/region.hh"
 
 namespace tpre
@@ -83,7 +83,8 @@ class PreconConstructor
     PreconConstructor(const Program &program,
                       const BimodalPredictor &bimodal,
                       const PreconPolicy &policy,
-                      bool bulkWalk = false);
+                      bool bulkWalk = false,
+                      mem::ArenaRef arena = {});
 
     bool idle() const { return region_ == nullptr; }
     Region *region() const { return region_; }
@@ -104,6 +105,15 @@ class PreconConstructor
      * @return instructions actually processed.
      */
     unsigned tick(unsigned instBudget, PreconTraceSink &sink);
+
+    /**
+     * Checkpoint/restore mid-path. The region association is
+     * serialized by the engine as a region index (the pointer
+     * fix-up); restore() receives the resolved pointer and does not
+     * touch the region's worker count — it was saved consistently.
+     */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r, Region *region);
 
   private:
     /** Begin (or restart) a path for the current start point. */
@@ -130,11 +140,11 @@ class PreconConstructor
     /** How many of decisions_ are replayed prescriptions. */
     std::size_t decIndex_ = 0;
     /** Alternative paths to explore (decision-stack backtracking). */
-    std::vector<DecisionPath> pendingPaths_;
+    mem::ArenaVector<DecisionPath> pendingPaths_;
     /** Remaining forks allowed for this start point. */
     unsigned forkBudget_ = 0;
     /** Intra-path call stack for resolving returns. */
-    std::vector<Addr> callStack_;
+    mem::ArenaVector<Addr> callStack_;
     bool callStackBroken_ = false;
     unsigned tracesFromStart_ = 0;
     bool pathActive_ = false;

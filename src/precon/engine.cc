@@ -28,8 +28,10 @@ PreconstructionEngine::PreconstructionEngine(
     PreconConfig config)
     : program_(program), icache_(icache), bimodal_(bimodal),
       traceCache_(traceCache), config_(config),
-      buffers_(config.bufferEntries, config.bufferAssoc),
-      stack_(config.stackDepth, config.completedSlots)
+      buffers_(config.bufferEntries, config.bufferAssoc,
+               config.arena),
+      stack_(config.stackDepth, config.completedSlots, config.arena),
+      regionPool_(config.arena)
 {
     tpre_assert(config_.numConstructors >= 1);
     tpre_assert(config_.numPrefetchCaches >= 1);
@@ -37,7 +39,8 @@ PreconstructionEngine::PreconstructionEngine(
     for (unsigned i = 0; i < config_.numConstructors; ++i)
         constructors_.emplace_back(program_, bimodal_,
                                    config_.policy,
-                                   config_.blockWalk);
+                                   config_.blockWalk,
+                                   config_.arena);
 }
 
 PreconstructionEngine::~PreconstructionEngine() = default;
@@ -348,7 +351,7 @@ PreconstructionEngine::retireRegions()
     // until it drains.
     if (removable) {
         std::erase_if(regions_,
-                      [](const std::unique_ptr<Region> &r) {
+                      [](const auto &r) {
                           return r->state() == RegionState::Done &&
                                  r->reaped &&
                                  r->pendingFetches.empty();
@@ -369,9 +372,9 @@ PreconstructionEngine::startRegion()
         const StartPoint sp = stack_.pop();
         if (!program_.contains(sp.addr))
             continue;
-        regions_.push_back(std::make_unique<Region>(
+        regions_.push_back(regionPool_.make(
             nextRegionSeq_++, sp, config_.prefetchCacheInsts,
-            config_.policy));
+            config_.policy, config_.arena));
         regionSig_ |= addrSigBit(sp.addr);
         regions_.back()->obsStartCycle = now_;
         ++stats_.regionsStarted;
@@ -444,6 +447,95 @@ PreconstructionEngine::tick(Cycle cycles, bool icachePortFree)
         now_ += skip;
         i += skip;
     }
+}
+
+void
+PreconstructionEngine::save(mem::ByteWriter &w) const
+{
+    if (externalStore_) {
+        fatal("PreconstructionEngine::save: engines with an "
+              "external trace store cannot be checkpointed");
+    }
+    buffers_.save(w);
+    stack_.save(w);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(regions_.size()));
+    for (const auto &region : regions_) {
+        w.put(region->seq());
+        w.put(StartPoint{region->startAddr(), region->kind()});
+        region->save(w);
+    }
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(constructors_.size()));
+    for (const PreconConstructor &constructor : constructors_) {
+        // The pointer fix-up: a constructor's region association is
+        // serialized as the region's index in regions_ and
+        // re-resolved against the reconstructed vector on restore.
+        std::uint32_t index = ~std::uint32_t{0};
+        for (std::size_t i = 0; i < regions_.size(); ++i) {
+            if (regions_[i].get() == constructor.region())
+                index = static_cast<std::uint32_t>(i);
+        }
+        w.put(index);
+        constructor.save(w);
+    }
+    w.put(nextRegionSeq_);
+    w.put(regionSig_);
+    w.put(pendingFetchCount_);
+    w.put(nextFetchReady_);
+    w.put(now_);
+    w.put(stats_);
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(bufferedLog_.size()));
+    w.putBytes(bufferedLog_.data(),
+               bufferedLog_.size() * sizeof(TraceId));
+}
+
+void
+PreconstructionEngine::restore(mem::ByteReader &r)
+{
+    if (externalStore_) {
+        fatal("PreconstructionEngine::restore: engines with an "
+              "external trace store cannot be checkpointed");
+    }
+    buffers_.restore(r);
+    stack_.restore(r);
+    regions_.clear();
+    const auto numRegions = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < numRegions; ++i) {
+        const auto seq = r.get<std::uint64_t>();
+        const auto origin = r.get<StartPoint>();
+        regions_.push_back(regionPool_.make(
+            seq, origin, config_.prefetchCacheInsts, config_.policy,
+            config_.arena));
+        regions_.back()->restore(r);
+    }
+    const auto numConstructors = r.get<std::uint32_t>();
+    if (numConstructors != constructors_.size()) {
+        fatal("PreconstructionEngine::restore: %u constructors in "
+              "the checkpoint, %zu configured",
+              numConstructors, constructors_.size());
+    }
+    for (PreconConstructor &constructor : constructors_) {
+        const auto index = r.get<std::uint32_t>();
+        Region *region = nullptr;
+        if (index != ~std::uint32_t{0}) {
+            if (index >= regions_.size()) {
+                fatal("PreconstructionEngine::restore: region "
+                      "index %u out of range", index);
+            }
+            region = regions_[index].get();
+        }
+        constructor.restore(r, region);
+    }
+    nextRegionSeq_ = r.get<std::uint64_t>();
+    regionSig_ = r.get<std::uint64_t>();
+    pendingFetchCount_ = r.get<unsigned>();
+    nextFetchReady_ = r.get<Cycle>();
+    now_ = r.get<Cycle>();
+    stats_ = r.get<Stats>();
+    bufferedLog_.resize(r.get<std::uint32_t>());
+    r.getBytes(bufferedLog_.data(),
+               bufferedLog_.size() * sizeof(TraceId));
 }
 
 void

@@ -20,6 +20,8 @@
 #include "cache/icache.hh"
 #include "func/block_cache.hh"
 #include "func/core.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 #include "precon/buffers.hh"
 #include "precon/constructor.hh"
 #include "trace/trace_cache.hh"
@@ -66,6 +68,13 @@ struct PreconConfig
      * blockCache knob; the default honours TPRE_BLOCK_CACHE.
      */
     bool blockWalk = blockCacheDefaultEnabled();
+    /**
+     * Per-run arena all engine-internal state (buffers, regions,
+     * constructor stacks) draws from; null keeps the global
+     * allocator. Set by the owning simulator rather than a ctor
+     * parameter so existing construction sites stay unchanged.
+     */
+    mem::ArenaRef arena;
     PreconPolicy policy;
 };
 
@@ -183,6 +192,17 @@ class PreconstructionEngine : public PreconTraceSink
 
     void clear();
 
+    /**
+     * Checkpoint/restore the full engine state: buffers, start
+     * point stack, every active region (reconstructed from its
+     * identity, then overwritten), and every constructor (its
+     * region pointer serialized as a region index and re-resolved
+     * on restore). Engines with an external store cannot be
+     * checkpointed.
+     */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
   private:
     /**
      * One engine cycle. The return value reports whether any phase
@@ -208,7 +228,14 @@ class PreconstructionEngine : public PreconTraceSink
     PreconStore *externalStore_ = nullptr;
     std::function<bool(const TraceId &)> primaryProbe_;
     StartPointStack stack_;
-    std::vector<std::unique_ptr<Region>> regions_;
+    /**
+     * Per-object-class pool the regions are carved from: region
+     * start/retire churn stays off the global allocator when the
+     * run owns an arena. Declared before regions_ so the pool
+     * outlives the owning pointers.
+     */
+    mem::ArenaPool<Region> regionPool_;
+    std::vector<mem::ArenaPool<Region>::Ptr> regions_;
     std::vector<PreconConstructor> constructors_;
     std::uint64_t nextRegionSeq_ = 1;
     /**

@@ -8,9 +8,14 @@ namespace tpre
 {
 
 Region::Region(std::uint64_t seq, StartPoint origin,
-               unsigned prefetchCapacity, const PreconPolicy &policy)
-    : seq_(seq), origin_(origin), policy_(policy),
-      prefetch_(prefetchCapacity)
+               unsigned prefetchCapacity, const PreconPolicy &policy,
+               mem::ArenaRef arena)
+    : pendingFetches(mem::ArenaAllocator<PendingFetch>(arena)),
+      neededLines(mem::ArenaAllocator<Addr>(arena)),
+      seq_(seq), origin_(origin), policy_(policy),
+      prefetch_(prefetchCapacity, arena),
+      worklist_(mem::ArenaAllocator<Addr>(arena)),
+      seenStarts_(arena)
 {
     addStartPoint(origin.addr);
     if (origin.kind == StartPointKind::LoopExit) {
@@ -75,6 +80,57 @@ Region::noteNeededLine(Addr line)
         neededLines.end()) {
         neededLines.push_back(line);
     }
+}
+
+void
+Region::save(mem::ByteWriter &w) const
+{
+    prefetch_.save(w);
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(worklist_.size()));
+    w.putBytes(worklist_.data(), worklist_.size() * sizeof(Addr));
+    seenStarts_.save(w);
+    w.put(state_);
+    w.put(endReason_);
+    w.put(workers);
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(pendingFetches.size()));
+    w.putBytes(pendingFetches.data(),
+               pendingFetches.size() * sizeof(PendingFetch));
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(neededLines.size()));
+    w.putBytes(neededLines.data(),
+               neededLines.size() * sizeof(Addr));
+    w.put(tracesConstructed);
+    w.put(reaped);
+    w.put(bufferRefusals);
+    w.put(leadingWarmTraces);
+    w.put(tracesEmitted);
+    w.put(obsStartCycle);
+}
+
+void
+Region::restore(mem::ByteReader &r)
+{
+    prefetch_.restore(r);
+    worklist_.resize(r.get<std::uint32_t>());
+    r.getBytes(worklist_.data(), worklist_.size() * sizeof(Addr));
+    seenStarts_.restore(r);
+    state_ = r.get<RegionState>();
+    endReason_ = r.get<RegionEndReason>();
+    workers = r.get<unsigned>();
+    pendingFetches.resize(r.get<std::uint32_t>());
+    r.getBytes(pendingFetches.data(),
+               pendingFetches.size() * sizeof(PendingFetch));
+    neededLines.resize(r.get<std::uint32_t>());
+    r.getBytes(neededLines.data(),
+               neededLines.size() * sizeof(Addr));
+    tracesConstructed = r.get<std::uint64_t>();
+    reaped = r.get<bool>();
+    bufferRefusals = r.get<unsigned>();
+    leadingWarmTraces = r.get<unsigned>();
+    tracesEmitted = r.get<unsigned>();
+    obsStartCycle = r.get<Cycle>();
 }
 
 } // namespace tpre

@@ -9,9 +9,9 @@
 #ifndef TPRE_PRECON_REGION_HH
 #define TPRE_PRECON_REGION_HH
 
-#include <vector>
-
 #include "cache/prefetch_cache.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 #include "precon/start_point_stack.hh"
 #include "trace/selector.hh"
 
@@ -30,6 +30,11 @@ namespace tpre
 class AddrSet
 {
   public:
+    AddrSet() = default;
+    explicit AddrSet(mem::ArenaRef arena)
+        : slots_(mem::ArenaAllocator<Addr>(arena))
+    {}
+
     bool
     contains(Addr addr) const
     {
@@ -65,6 +70,23 @@ class AddrSet
         }
     }
 
+    /** Checkpoint/restore the slot table wholesale. */
+    void
+    save(mem::ByteWriter &w) const
+    {
+        w.put<std::uint64_t>(slots_.size());
+        w.putBytes(slots_.data(), slots_.size() * sizeof(Addr));
+        w.put<std::uint64_t>(count_);
+    }
+
+    void
+    restore(mem::ByteReader &r)
+    {
+        slots_.resize(r.get<std::uint64_t>());
+        r.getBytes(slots_.data(), slots_.size() * sizeof(Addr));
+        count_ = static_cast<std::size_t>(r.get<std::uint64_t>());
+    }
+
   private:
     static std::size_t
     probe(Addr addr)
@@ -77,7 +99,9 @@ class AddrSet
     void
     grow()
     {
-        std::vector<Addr> old = std::move(slots_);
+        // Move keeps the allocator, so the rebuilt table stays on
+        // the owning arena (or the global heap) across growth.
+        mem::ArenaVector<Addr> old = std::move(slots_);
         slots_.assign(old.size() * 2, invalidAddr);
         count_ = 0;
         for (Addr a : old) {
@@ -86,7 +110,7 @@ class AddrSet
         }
     }
 
-    std::vector<Addr> slots_;
+    mem::ArenaVector<Addr> slots_;
     std::size_t count_ = 0;
 };
 
@@ -141,7 +165,8 @@ class Region
      * @param prefetchCapacity Prefetch cache capacity in insts.
      */
     Region(std::uint64_t seq, StartPoint origin,
-           unsigned prefetchCapacity, const PreconPolicy &policy);
+           unsigned prefetchCapacity, const PreconPolicy &policy,
+           mem::ArenaRef arena = {});
 
     std::uint64_t seq() const { return seq_; }
     Addr startAddr() const { return origin_.addr; }
@@ -174,12 +199,12 @@ class Region
         Addr line = invalidAddr;
         Cycle readyAt = 0;
     };
-    std::vector<PendingFetch> pendingFetches;
+    mem::ArenaVector<PendingFetch> pendingFetches;
 
     bool hasPending(Addr line) const;
 
     /** Lines the constructors are stalled on (deduplicated). */
-    std::vector<Addr> neededLines;
+    mem::ArenaVector<Addr> neededLines;
 
     void noteNeededLine(Addr line);
 
@@ -199,12 +224,21 @@ class Region
     /** Engine cycle when the region started (obs region span). */
     Cycle obsStartCycle = 0;
 
+    /**
+     * Checkpoint/restore all mutable state. Identity (seq, origin)
+     * and policy are not serialized here: the engine reconstructs
+     * the region from them and then overwrites the ctor-seeded
+     * worklist with the saved one.
+     */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
   private:
     std::uint64_t seq_;
     StartPoint origin_;
     PreconPolicy policy_;
     PrefetchCache prefetch_;
-    std::vector<Addr> worklist_;
+    mem::ArenaVector<Addr> worklist_;
     AddrSet seenStarts_;
     RegionState state_ = RegionState::Active;
     RegionEndReason endReason_ = RegionEndReason::Completed;

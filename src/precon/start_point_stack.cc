@@ -8,12 +8,36 @@ namespace tpre
 {
 
 StartPointStack::StartPointStack(unsigned depth,
-                                 unsigned completedSlots)
-    : depth_(depth), completedSlots_(completedSlots)
+                                 unsigned completedSlots,
+                                 mem::ArenaRef arena)
+    : depth_(depth), completedSlots_(completedSlots),
+      stack_(mem::ArenaAllocator<StartPoint>(arena)),
+      completed_(mem::ArenaAllocator<Addr>(arena))
 {
     tpre_assert(depth >= 1);
     stack_.reserve(depth);
     completed_.reserve(completedSlots);
+}
+
+void
+StartPointStack::save(mem::ByteWriter &w) const
+{
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(stack_.size()));
+    w.putBytes(stack_.data(), stack_.size() * sizeof(StartPoint));
+    w.put(sig_);
+    w.put<std::uint32_t>(
+        static_cast<std::uint32_t>(completed_.size()));
+    w.putBytes(completed_.data(), completed_.size() * sizeof(Addr));
+}
+
+void
+StartPointStack::restore(mem::ByteReader &r)
+{
+    stack_.resize(r.get<std::uint32_t>());
+    r.getBytes(stack_.data(), stack_.size() * sizeof(StartPoint));
+    sig_ = r.get<std::uint64_t>();
+    completed_.resize(r.get<std::uint32_t>());
+    r.getBytes(completed_.data(), completed_.size() * sizeof(Addr));
 }
 
 bool

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 
 namespace tpre
 {
@@ -37,7 +39,8 @@ struct StartPoint
 class StartPointStack
 {
   public:
-    StartPointStack(unsigned depth = 16, unsigned completedSlots = 4);
+    StartPointStack(unsigned depth = 16, unsigned completedSlots = 4,
+                    mem::ArenaRef arena = {});
 
     /**
      * Push a candidate start point observed in the dispatch
@@ -97,6 +100,10 @@ class StartPointStack
 
     unsigned depth() const { return depth_; }
 
+    /** Checkpoint/restore entries, signature and completed memory. */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
   private:
     /** Cold path: drop every entry at @p addr (duplicates exist). */
     void eraseAll(Addr addr);
@@ -120,11 +127,11 @@ class StartPointStack
     unsigned depth_;
     unsigned completedSlots_;
     /** Newest entry at the back. */
-    std::vector<StartPoint> stack_;
+    mem::ArenaVector<StartPoint> stack_;
     /** Superset signature of the addresses on the stack. */
     std::uint64_t sig_ = 0;
     /** Recently completed region starts, newest at the back. */
-    std::vector<Addr> completed_;
+    mem::ArenaVector<Addr> completed_;
 };
 
 } // namespace tpre

@@ -46,6 +46,26 @@ struct SimConfig
      * the block counters change. Default honours TPRE_BLOCK_CACHE.
      */
     bool blockCache = blockCacheDefaultEnabled();
+    /**
+     * Per-run arena allocation for Fast mode: every run draws its
+     * component heaps from a worker-private bump arena freed
+     * wholesale at run end. Bit-identical statistics either way —
+     * only the host allocator changes. Default honours TPRE_ARENA
+     * (on when unset).
+     */
+    bool arena = mem::arenaDefaultEnabled();
+    /**
+     * Warm-state reuse (Fast mode): functionally warm the first
+     * this-many instructions once per workload, checkpoint, and
+     * fork every compatible run from the shared checkpoint instead
+     * of re-executing the warm-up. The run's statistics then cover
+     * the post-warm-up interval [warmupInsts, maxInsts) — a
+     * SMARTS-style measurement window, reported as warm in the
+     * result. 0 disables (cold run, statistics from instruction 0).
+     * Rows that cannot fork (timing mode, tpt dumps,
+     * warmupInsts >= maxInsts) fall back to cold and say so.
+     */
+    InstCount warmupInsts = 0;
 
     SelectionPolicy selection;
     /** Extra preconstruction knobs (ablations). */

@@ -204,6 +204,15 @@ BenchReport::render(double wallSeconds) const
         out += "\"prep\": " + boolWord(c.prepEnabled) + ", ";
         out += "\"workload_seed\": " + u64(c.workloadSeed) + ", ";
         out += "\"max_insts\": " + u64(c.maxInsts) + ", ";
+        out += "\"arena\": " + boolWord(c.arena) + ", ";
+        // Warm-state reuse: whether this row was forked from a
+        // shared warm-up checkpoint, how many instructions the
+        // warm-up covered, and — for rows that requested warm but
+        // fell back to a cold start — why.
+        out += "\"warm\": " + boolWord(r.warm) + ", ";
+        out += "\"warmup_insts\": " + u64(r.warmupInsts) + ", ";
+        out += "\"warm_fallback\": \"" +
+               jsonEscape(r.warmFallback) + "\", ";
         out += "\"combined_kb\": " + jsonNumber(c.combinedKb()) +
                ", ";
         out += "\"instructions\": " + u64(r.instructions) + ", ";

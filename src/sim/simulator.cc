@@ -68,18 +68,19 @@ replayTrace(const std::string &tptPath, SimConfig config)
     return result;
 }
 
-const GeneratedWorkload &
+std::shared_ptr<const GeneratedWorkload>
 Simulator::workload(const std::string &benchmark,
                     std::uint64_t seed)
 {
-    CacheEntry *entry;
+    const auto key = std::make_pair(benchmark, seed);
+    std::shared_ptr<CacheEntry> entry;
     {
         std::lock_guard<std::mutex> guard(mu_);
-        std::unique_ptr<CacheEntry> &slot =
-            workloads_[std::make_pair(benchmark, seed)];
+        std::shared_ptr<CacheEntry> &slot = workloads_[key];
         if (!slot)
-            slot = std::make_unique<CacheEntry>();
-        entry = slot.get();
+            slot = std::make_shared<CacheEntry>();
+        slot->lastUse = ++useClock_;
+        entry = slot;
     }
     // Generation happens outside the map lock: only demanders of
     // this exact workload serialize on the once_flag.
@@ -87,34 +88,143 @@ Simulator::workload(const std::string &benchmark,
         TPRE_OBS_WALL_SPAN("workload", "generate");
         TPRE_OBS_COUNT("workload.generated");
         WorkloadGenerator gen(specint95Profile(benchmark, seed));
-        entry->workload = std::make_unique<GeneratedWorkload>(
+        entry->workload = std::make_shared<GeneratedWorkload>(
             gen.generate());
     });
-    return *entry->workload;
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        evictWorkloadsLocked(key);
+    }
+    return entry->workload;
+}
+
+void
+Simulator::evictWorkloadsLocked(
+    const std::pair<std::string, std::uint64_t> &current)
+{
+    // Evict only *generated* entries (an entry mid-generation has
+    // threads parked on its once_flag; their shared_ptr keeps the
+    // object alive, but erasing it from the map would regenerate
+    // the same workload next time for no benefit) and never the
+    // entry just used. Holders of evicted workloads are safe: the
+    // data rides the shared_ptr, not the map.
+    while (workloads_.size() > workloadCacheLimit_) {
+        auto victim = workloads_.end();
+        for (auto it = workloads_.begin(); it != workloads_.end();
+             ++it) {
+            if (it->first == current || !it->second->workload)
+                continue;
+            if (victim == workloads_.end() ||
+                it->second->lastUse < victim->second->lastUse) {
+                victim = it;
+            }
+        }
+        if (victim == workloads_.end())
+            return;
+        TPRE_OBS_COUNT("workload.evicted");
+        workloads_.erase(victim);
+    }
+}
+
+void
+Simulator::setWorkloadCacheLimit(std::size_t limit)
+{
+    tpre_assert(limit >= 1);
+    std::lock_guard<std::mutex> guard(mu_);
+    workloadCacheLimit_ = limit;
+}
+
+std::size_t
+Simulator::workloadCacheSize()
+{
+    std::lock_guard<std::mutex> guard(mu_);
+    return workloads_.size();
+}
+
+std::shared_ptr<const mem::Checkpoint>
+Simulator::warmCheckpoint(const SimConfig &config,
+                          const GeneratedWorkload &wl)
+{
+    const WarmKey key{config.benchmark, config.workloadSeed,
+                      config.warmupInsts, config.selection.maxLen,
+                      config.selection.alignGranule};
+    std::shared_ptr<WarmEntry> entry;
+    {
+        std::lock_guard<std::mutex> guard(mu_);
+        std::shared_ptr<WarmEntry> &slot = warm_[key];
+        if (!slot)
+            slot = std::make_shared<WarmEntry>();
+        entry = slot;
+    }
+    std::call_once(entry->once, [&] {
+        TPRE_OBS_WALL_SPAN("sim", "warmup");
+        TPRE_OBS_COUNT("sim.warmups");
+        // The warm-up simulator deliberately uses the global
+        // allocator (null arena): the checkpoint must stay valid
+        // after any per-run arena resets, and its payload is a
+        // plain relocatable byte vector either way. Only the
+        // stream-shaping knobs matter for a functional checkpoint;
+        // everything else stays at defaults.
+        FastSimConfig wcfg;
+        wcfg.selection = config.selection;
+        FastSim warmSim(wl.program, wcfg);
+        warmSim.runUntil(config.warmupInsts);
+        entry->checkpoint = std::make_shared<const mem::Checkpoint>(
+            warmSim.checkpoint(mem::CheckpointKind::Functional));
+    });
+    return entry->checkpoint;
 }
 
 SimResult
 Simulator::run(const SimConfig &config)
 {
-    const GeneratedWorkload &wl =
+    const std::shared_ptr<const GeneratedWorkload> wl =
         workload(config.benchmark, config.workloadSeed);
 
     SimResult result;
     result.config = config;
+
+    // Warm-state reuse: decide before the clock starts whether this
+    // run can fork from the shared warm-up checkpoint. The
+    // checkpoint itself is generated (once per workload+selection)
+    // outside the timed section, like workload generation.
+    bool warmRun = false;
+    std::string warmFallback;
+    std::shared_ptr<const mem::Checkpoint> warmCp;
+    if (config.warmupInsts > 0) {
+        if (config.mode != SimMode::Fast)
+            warmFallback = "timing-mode";
+        else if (!config.tptDump.empty())
+            warmFallback = "tpt-dump";
+        else if (config.warmupInsts >= config.maxInsts)
+            warmFallback = "warmup>=maxInsts";
+        else {
+            warmCp = warmCheckpoint(config, *wl);
+            warmRun = true;
+        }
+    }
 
     TPRE_OBS_WALL_SPAN("sim", "run");
     TPRE_OBS_COUNT("sim.runs");
     const auto start = std::chrono::steady_clock::now();
 
     if (config.mode == SimMode::Fast) {
+        // One bump arena per worker thread, reused (chunks
+        // retained) across the runs it executes, reset wholesale
+        // after each. The simulator must be destroyed before the
+        // reset — hence the inner scope.
+        thread_local mem::Arena runArena;
+
         FastSimConfig fcfg = config.toFastConfig();
+        if (config.arena)
+            fcfg.arena = mem::ArenaRef(runArena);
 
         // Trace dump: tap the commit hook so the file records
         // exactly the stream the frontend processed.
         std::unique_ptr<tracefmt::TptWriter> dump;
         if (!config.tptDump.empty()) {
             dump = std::make_unique<tracefmt::TptWriter>(
-                wl.program,
+                wl->program,
                 tracefmt::TptMeta{config.benchmark,
                                   config.workloadSeed});
             auto chained = std::move(fcfg.hooks.onCommit);
@@ -126,25 +236,36 @@ Simulator::run(const SimConfig &config)
             };
         }
 
-        FastSim sim(wl.program, fcfg);
-        const FastSimStats &st = sim.run(config.maxInsts);
-        result = makeFastResult(config, st);
+        {
+            FastSim sim(wl->program, fcfg);
+            const FastSimStats *st;
+            if (warmRun) {
+                sim.forkFrom(*warmCp);
+                st = &sim.run(config.maxInsts -
+                              config.warmupInsts);
+            } else {
+                st = &sim.run(config.maxInsts);
+            }
+            result = makeFastResult(config, *st);
 
-        if (dump) {
-            if (!tracefmt::writeFileBytes(config.tptDump,
-                                          dump->finish()))
-                fatal("cannot write trace dump %s",
-                      config.tptDump.c_str());
-            inform("wrote %llu-instruction trace to %s",
-                   static_cast<unsigned long long>(
-                       st.instructions),
-                   config.tptDump.c_str());
+            if (dump) {
+                if (!tracefmt::writeFileBytes(config.tptDump,
+                                              dump->finish()))
+                    fatal("cannot write trace dump %s",
+                          config.tptDump.c_str());
+                inform("wrote %llu-instruction trace to %s",
+                       static_cast<unsigned long long>(
+                           st->instructions),
+                       config.tptDump.c_str());
+            }
         }
+        if (config.arena)
+            runArena.reset();
     } else {
         if (!config.tptDump.empty())
             warn("tptDump is only supported in Fast mode; "
                  "ignoring %s", config.tptDump.c_str());
-        TraceProcessor proc(wl.program,
+        TraceProcessor proc(wl->program,
                             config.toProcessorConfig());
         const ProcessorStats &st = proc.run(config.maxInsts);
         result.instructions = st.instructions;
@@ -176,6 +297,9 @@ Simulator::run(const SimConfig &config)
         result.mips = static_cast<double>(result.instructions) /
                       1e6 / result.wallSeconds;
     }
+    result.warm = warmRun;
+    result.warmupInsts = config.warmupInsts;
+    result.warmFallback = warmFallback;
     TPRE_OBS_COUNT("sim.instructions", result.instructions);
     return result;
 }

@@ -12,7 +12,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 
+#include "mem/checkpoint.hh"
 #include "sim/config.hh"
 #include "telemetry/provenance.hh"
 #include "workload/generator.hh"
@@ -65,6 +67,20 @@ struct SimResult
     double wallSeconds = 0.0;
     /** Millions of simulated instructions per wall-clock second. */
     double mips = 0.0;
+    /**
+     * The run was forked from a shared warm-up checkpoint; its
+     * statistics cover [warmupInsts, maxInsts) rather than the full
+     * run from instruction 0.
+     */
+    bool warm = false;
+    /** Requested warm-up length (0 = cold). */
+    InstCount warmupInsts = 0;
+    /**
+     * Why a requested warm-up fell back to a cold run (empty when
+     * warm or when no warm-up was requested): "timing-mode",
+     * "tpt-dump" or "warmup>=maxInsts".
+     */
+    std::string warmFallback;
 };
 
 /**
@@ -105,24 +121,63 @@ class Simulator
 
     /**
      * Access (and cache) the workload for a config. The returned
-     * reference is stable for the Simulator's lifetime; the
      * GeneratedWorkload is immutable after generation and safe to
-     * read from any number of threads.
+     * read from any number of threads; holding the shared_ptr keeps
+     * it alive even after the cache evicts the entry (the cache is
+     * LRU-bounded — see setWorkloadCacheLimit).
      */
-    const GeneratedWorkload &workload(const std::string &benchmark,
-                                      std::uint64_t seed);
+    std::shared_ptr<const GeneratedWorkload>
+    workload(const std::string &benchmark, std::uint64_t seed);
+
+    /**
+     * Bound the workload cache (default 64 entries). Unbounded
+     * growth retained every workload for the process lifetime; a
+     * long-lived Simulator sweeping many (benchmark, seed) pairs
+     * now evicts the least-recently-used generated entries.
+     * In-flight users are unaffected: they hold shared_ptrs.
+     */
+    void setWorkloadCacheLimit(std::size_t limit);
+    /** Number of workloads currently cached. */
+    std::size_t workloadCacheSize();
 
   private:
     struct CacheEntry
     {
         std::once_flag once;
-        std::unique_ptr<GeneratedWorkload> workload;
+        std::shared_ptr<const GeneratedWorkload> workload;
+        std::uint64_t lastUse = 0;
     };
+
+    /**
+     * One shared warm-up checkpoint per (workload, warm-up length,
+     * selection) — every config that generates the same committed
+     * stream forks from the same functionally warmed state.
+     */
+    struct WarmEntry
+    {
+        std::once_flag once;
+        std::shared_ptr<const mem::Checkpoint> checkpoint;
+    };
+
+    using WarmKey = std::tuple<std::string, std::uint64_t,
+                               InstCount, unsigned, unsigned>;
+
+    /** Get (generating once) the shared warm-up checkpoint. */
+    std::shared_ptr<const mem::Checkpoint>
+    warmCheckpoint(const SimConfig &config,
+                   const GeneratedWorkload &wl);
+
+    /** Drop LRU generated workloads beyond the cache limit. */
+    void evictWorkloadsLocked(
+        const std::pair<std::string, std::uint64_t> &current);
 
     std::mutex mu_;
     std::map<std::pair<std::string, std::uint64_t>,
-             std::unique_ptr<CacheEntry>>
+             std::shared_ptr<CacheEntry>>
         workloads_;
+    std::map<WarmKey, std::shared_ptr<WarmEntry>> warm_;
+    std::uint64_t useClock_ = 0;
+    std::size_t workloadCacheLimit_ = 64;
 };
 
 } // namespace tpre

@@ -1,24 +1,32 @@
 #include "tproc/fast_sim.hh"
 
 #include <algorithm>
+#include <cstring>
 
 #include "check/check.hh"
 #include "check/invariants.hh"
 #include "check/stats_check.hh"
 #include "common/logging.hh"
+#include "common/random.hh"
 #include "obs/obs.hh"
 
 namespace tpre
 {
 
 FastSim::FastSim(const Program &program, FastSimConfig config)
-    : program_(program), config_(config), core_(program),
-      traceCache_(config.traceCacheEntries, config.traceCacheAssoc),
-      icache_(config.icache), segmenter_(config.selection)
+    : program_(program), config_(config),
+      core_(program, config.arena),
+      traceCache_(config.traceCacheEntries, config.traceCacheAssoc,
+                  config.arena),
+      icache_(config.icache, config.arena),
+      bimodal_(16 * 1024, config.arena),
+      segmenter_(config.selection)
 {
+    window_.reserve(maxTraceLen);
     if (config_.preconEnabled) {
         config_.precon.policy.selection = config_.selection;
         config_.precon.blockWalk = config_.blockCache;
+        config_.precon.arena = config_.arena;
         engine_ = std::make_unique<PreconstructionEngine>(
             program_, icache_, bimodal_, traceCache_,
             config_.precon);
@@ -207,24 +215,41 @@ FastSim::run(InstCount maxInsts)
         return stats_;
     }
 
-    std::vector<DynInst> window;
-    window.reserve(maxTraceLen);
-
+    // window_ is deliberately not cleared here: a forked run
+    // resumes mid-trace with the restored commit prefix in place.
     while (!core_.halted() && stats_.instructions < maxInsts) {
         const DynInst &dyn = core_.step();
-        window.push_back(dyn);
+        window_.push_back(dyn);
         if (auto trace = segmenter_.feed(dyn)) {
-            processTrace(window, std::move(*trace), false);
-            window.clear();
+            processTrace(window_, std::move(*trace), false);
+            window_.clear();
         }
     }
 
     if (auto trace = segmenter_.flush()) {
-        processTrace(window, std::move(*trace), true);
-        window.clear();
+        processTrace(window_, std::move(*trace), true);
+        window_.clear();
     }
 
     finishRun();
+    return stats_;
+}
+
+const FastSimStats &
+FastSim::runUntil(InstCount coreInsts)
+{
+    // Scalar loop only: the stop condition is an exact core
+    // instruction count, which block retirement cannot honour
+    // mid-chunk. No flush, no finishRun — the segmenter, commit
+    // window and any partial block stay armed for checkpoint().
+    while (!core_.halted() && core_.instsExecuted() < coreInsts) {
+        const DynInst &dyn = core_.step();
+        window_.push_back(dyn);
+        if (auto trace = segmenter_.feed(dyn)) {
+            processTrace(window_, std::move(*trace), false);
+            window_.clear();
+        }
+    }
     return stats_;
 }
 
@@ -241,7 +266,8 @@ FastSim::runBlocks(InstCount maxInsts)
     // chunk's last instruction, so feedRun() segments exactly as n
     // feed() calls would.
     if (!blocks_)
-        blocks_ = std::make_unique<BlockCache>(program_);
+        blocks_ = std::make_unique<BlockCache>(program_,
+                                               config_.arena);
     static const std::vector<DynInst> kNoWindow;
 
     while (!core_.halted() && stats_.instructions < maxInsts) {
@@ -282,28 +308,170 @@ FastSim::runBlocks(InstCount maxInsts)
 const FastSimStats &
 FastSim::replay(DynInstSource &source, InstCount maxInsts)
 {
-    std::vector<DynInst> window;
-    window.reserve(maxTraceLen);
-
     // Mirror run()'s loop exactly — same segmentation, same trace
     // processing — with the recorded stream standing in for the
     // functional core.
     DynInst dyn;
     while (stats_.instructions < maxInsts && source.next(dyn)) {
-        window.push_back(dyn);
+        window_.push_back(dyn);
         if (auto trace = segmenter_.feed(dyn)) {
-            processTrace(window, std::move(*trace), false);
-            window.clear();
+            processTrace(window_, std::move(*trace), false);
+            window_.clear();
         }
     }
 
     if (auto trace = segmenter_.flush()) {
-        processTrace(window, std::move(*trace), true);
-        window.clear();
+        processTrace(window_, std::move(*trace), true);
+        window_.clear();
     }
 
     finishRun();
     return stats_;
+}
+
+std::uint64_t
+FastSim::configSignature(mem::CheckpointKind kind) const
+{
+    // Chain the fields through mix64 so any single-knob change
+    // flips the signature. The stream signature covers exactly what
+    // shapes the committed dynamic stream and its segmentation; the
+    // full signature additionally covers every microarchitectural
+    // knob a Full checkpoint embeds state for. Host-side knobs
+    // (blockCache, arena, hooks) are excluded on purpose.
+    std::uint64_t sig = 0x7472'6163'6570'7265ULL; // "tracepre"
+    const auto chain = [&sig](std::uint64_t v) {
+        sig = mix64(sig ^ v);
+    };
+    chain(program_.entry());
+    chain(program_.end());
+    chain(config_.selection.maxLen);
+    chain(config_.selection.alignGranule);
+    if (kind == mem::CheckpointKind::Functional)
+        return sig;
+
+    chain(config_.traceCacheEntries);
+    chain(config_.traceCacheAssoc);
+    chain(config_.icache.geometry.sizeBytes);
+    chain(config_.icache.geometry.assoc);
+    chain(config_.icache.geometry.lineBytes);
+    chain(config_.icache.hitLatency);
+    chain(config_.icache.missLatency);
+    chain(config_.slowFetchWidth);
+    std::uint64_t ipc_bits;
+    static_assert(sizeof(ipc_bits) == sizeof(config_.assumedIpc));
+    std::memcpy(&ipc_bits, &config_.assumedIpc, sizeof(ipc_bits));
+    chain(ipc_bits);
+    chain(config_.preconEnabled);
+    chain(config_.precon.bufferEntries);
+    chain(config_.precon.bufferAssoc);
+    chain(config_.precon.numConstructors);
+    chain(config_.precon.numPrefetchCaches);
+    chain(config_.precon.prefetchCacheInsts);
+    chain(config_.precon.stackDepth);
+    chain(config_.precon.completedSlots);
+    chain(config_.precon.constructorInstsPerCycle);
+    chain(config_.precon.maxOutstandingFetches);
+    chain(config_.precon.warmRegionThreshold);
+    chain(config_.precon.policy.worklistMax);
+    chain(config_.precon.policy.decisionDepth);
+    chain(config_.precon.policy.maxTracesPerStart);
+    chain(config_.precon.policy.loopExitAlignSeeds);
+    chain(config_.precon.policy.callStackDepth);
+    chain(config_.trackTraceWorkingSet);
+    chain(config_.diagnostics);
+    return sig;
+}
+
+mem::Checkpoint
+FastSim::checkpoint(mem::CheckpointKind kind) const
+{
+    mem::ByteWriter w;
+    // Common prefix: the architectural stream state. Order matters
+    // and is mirrored exactly by forkFrom().
+    core_.save(w);
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(window_.size()));
+    w.putBytes(window_.data(), window_.size() * sizeof(DynInst));
+    segmenter_.save(w);
+    bimodal_.save(w);
+    if (kind == mem::CheckpointKind::Full) {
+        w.put(engine_ != nullptr);
+        icache_.save(w);
+        traceCache_.save(w);
+        if (engine_)
+            engine_->save(w);
+        w.put(stats_);
+        w.put<std::uint32_t>(
+            static_cast<std::uint32_t>(seenTraces_.size()));
+        for (const TraceId &id : seenTraces_)
+            w.put(id);
+        w.put<std::uint32_t>(
+            static_cast<std::uint32_t>(everBuffered_.size()));
+        for (const TraceId &id : everBuffered_)
+            w.put(id);
+    }
+    mem::Checkpoint cp;
+    cp.kind = kind;
+    cp.configSig = configSignature(kind);
+    cp.bytes = w.take();
+    return cp;
+}
+
+void
+FastSim::forkFrom(const mem::Checkpoint &checkpoint)
+{
+    if (stats_.traces != 0 || stats_.instructions != 0 ||
+        core_.instsExecuted() != 0) {
+        fatal("FastSim::forkFrom: target simulator has already "
+              "run; fork into a freshly constructed one");
+    }
+    if (checkpoint.configSig != configSignature(checkpoint.kind)) {
+        fatal("FastSim::forkFrom: config signature %llx does not "
+              "match the checkpoint's %llx",
+              static_cast<unsigned long long>(
+                  configSignature(checkpoint.kind)),
+              static_cast<unsigned long long>(checkpoint.configSig));
+    }
+    mem::ByteReader r(checkpoint.bytes);
+    core_.restore(r);
+    window_.resize(r.get<std::uint32_t>());
+    r.getBytes(window_.data(), window_.size() * sizeof(DynInst));
+    segmenter_.restore(r);
+    bimodal_.restore(r);
+    if (checkpoint.kind == mem::CheckpointKind::Functional) {
+        // Functional forks inherit only the stream state; the
+        // fork's own statistics start from zero (SMARTS-style
+        // measurement of the post-warm-up interval).
+        stats_ = FastSimStats();
+        if (r.remaining() != 0) {
+            fatal("FastSim::forkFrom: %zu trailing bytes in a "
+                  "functional checkpoint", r.remaining());
+        }
+        return;
+    }
+    const bool hasEngine = r.get<bool>();
+    if (hasEngine != (engine_ != nullptr)) {
+        fatal("FastSim::forkFrom: checkpoint %s a preconstruction "
+              "engine but this simulator %s one",
+              hasEngine ? "has" : "lacks",
+              engine_ ? "has" : "lacks");
+    }
+    icache_.restore(r);
+    traceCache_.restore(r);
+    if (engine_)
+        engine_->restore(r);
+    stats_ = r.get<FastSimStats>();
+    seenTraces_.clear();
+    const auto numSeen = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < numSeen; ++i)
+        seenTraces_.insert(r.get<TraceId>());
+    everBuffered_.clear();
+    const auto numBuffered = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < numBuffered; ++i)
+        everBuffered_.insert(r.get<TraceId>());
+    if (r.remaining() != 0) {
+        fatal("FastSim::forkFrom: %zu trailing bytes in a full "
+              "checkpoint", r.remaining());
+    }
 }
 
 void

@@ -16,12 +16,15 @@
 #include <memory>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "bpred/bimodal.hh"
 #include "cache/icache.hh"
 #include "check/hooks.hh"
 #include "func/block_cache.hh"
 #include "func/core.hh"
+#include "mem/arena.hh"
+#include "mem/checkpoint.hh"
 #include "precon/engine.hh"
 #include "trace/fill_unit.hh"
 #include "trace/trace_cache.hh"
@@ -64,6 +67,15 @@ struct FastSimConfig
      * to the TPRE_BLOCK_CACHE environment override (on when unset).
      */
     bool blockCache = blockCacheDefaultEnabled();
+    /**
+     * Per-run arena every component heap (trace cache, predictor
+     * table, I-cache tags, memory pages, precon state, decoded
+     * blocks) draws from. Null (the default) keeps the global
+     * allocator; behaviour is bit-identical either way. The owner
+     * of the arena must outlive the simulator and reset it only
+     * after the simulator is destroyed.
+     */
+    mem::ArenaRef arena;
     /** Commit/trace taps for the tpre::check differential oracle. */
     check::SimHooks hooks;
 };
@@ -142,6 +154,43 @@ class FastSim
     const FastSimStats &run(InstCount maxInsts);
 
     /**
+     * Run the scalar loop until the functional core has executed
+     * @p coreInsts instructions (or the program halts), leaving the
+     * segmenter and commit window mid-flight: no partial-trace
+     * flush, no end-of-run stats bookkeeping. This is the
+     * checkpoint-generation primitive — it can stop mid-block and
+     * mid-trace, and a subsequent run() picks up exactly where it
+     * stopped.
+     */
+    const FastSimStats &runUntil(InstCount coreInsts);
+
+    /**
+     * Snapshot the simulator into a relocatable checkpoint.
+     * Functional checkpoints capture the architectural stream state
+     * (core, memory, commit window, segmenter, predictor) and can
+     * seed any config that generates the same dynamic stream; Full
+     * checkpoints additionally capture the caches, the
+     * preconstruction engine and the statistics, and only restore
+     * into an identically configured simulator.
+     */
+    mem::Checkpoint checkpoint(mem::CheckpointKind kind) const;
+
+    /**
+     * Restore this (freshly constructed, never-run) simulator from
+     * a checkpoint taken by checkpoint(). The config signature must
+     * match: stream-affecting knobs for Functional checkpoints,
+     * the full microarchitectural config for Full ones.
+     */
+    void forkFrom(const mem::Checkpoint &checkpoint);
+
+    /**
+     * Signature of the configuration fields a checkpoint of @p kind
+     * depends on. Host-side knobs (blockCache, arena, hooks) are
+     * excluded: they never change simulated behaviour.
+     */
+    std::uint64_t configSignature(mem::CheckpointKind kind) const;
+
+    /**
      * Drive the frontend from a pre-recorded committed stream
      * instead of the functional core: segmentation, trace cache,
      * preconstruction and predictor training all take the exact
@@ -186,6 +235,13 @@ class FastSim
      */
     std::unordered_set<TraceId> seenTraces_;
     std::unordered_set<TraceId> everBuffered_;
+    /**
+     * Commit window of the in-flight trace (scalar paths). A member
+     * rather than a run() local so checkpoints can capture it and a
+     * forked run resumes with the restored prefix intact; run() and
+     * replay() deliberately do not clear it on entry.
+     */
+    std::vector<DynInst> window_;
     FastSimStats stats_;
 };
 

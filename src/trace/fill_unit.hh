@@ -93,6 +93,10 @@ class FillUnit
     /** Is a trace currently being assembled? */
     bool building() const { return builder_.active(); }
 
+    /** Checkpoint/restore the in-flight builder state. */
+    void save(mem::ByteWriter &w) const { builder_.save(w); }
+    void restore(mem::ByteReader &r) { builder_.restore(r); }
+
     const SelectionPolicy &policy() const { return builder_.policy(); }
 
   private:

@@ -58,6 +58,26 @@ TraceBuilder::finalize()
 }
 
 void
+TraceBuilder::save(mem::ByteWriter &w) const
+{
+    saveTrace(w, trace_);
+    w.put(active_);
+    w.put(lastBackward_);
+    w.put(targetLen_);
+    w.put(nextPc_);
+}
+
+void
+TraceBuilder::restore(mem::ByteReader &r)
+{
+    restoreTrace(r, trace_);
+    active_ = r.get<bool>();
+    lastBackward_ = r.get<int>();
+    targetLen_ = r.get<unsigned>();
+    nextPc_ = r.get<Addr>();
+}
+
+void
 TraceBuilder::abandon()
 {
     active_ = false;

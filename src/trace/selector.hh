@@ -209,6 +209,15 @@ class TraceBuilder
     /** Abandon the current partial trace. */
     void abandon();
 
+    /**
+     * Checkpoint/restore the builder mid-assembly, including the
+     * partial trace: a restored builder continues segmenting
+     * exactly where the saved one stopped (mid-trace snapshot
+     * points depend on this).
+     */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
     const SelectionPolicy &policy() const { return policy_; }
 
   private:

@@ -14,6 +14,7 @@
 
 #include "common/inline_vec.hh"
 #include "isa/instruction.hh"
+#include "mem/checkpoint.hh"
 #include "telemetry/provenance.hh"
 
 namespace tpre
@@ -142,6 +143,44 @@ struct Trace
     bool endsInIndirect() const
     { return endReason == TraceEndReason::IndirectJump; }
 };
+
+/**
+ * Checkpoint codec for a Trace: every field is POD except the
+ * inline body, which travels as a length-prefixed bulk copy of its
+ * live prefix. The cached id hash rides along inside TraceId (it is
+ * position-independent), so no rehash is needed on restore.
+ */
+inline void
+saveTrace(mem::ByteWriter &w, const Trace &trace)
+{
+    w.put(trace.id);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(trace.len()));
+    for (const TraceInst &ti : trace.insts)
+        w.put(ti);
+    w.put(trace.fallThrough);
+    w.put(trace.endReason);
+    w.put(trace.preprocessed);
+    w.put(trace.origin);
+    w.put(trace.buildCycle);
+}
+
+inline void
+restoreTrace(mem::ByteReader &r, Trace &trace)
+{
+    trace.id = r.get<TraceId>();
+    const auto n = r.get<std::uint8_t>();
+    if (n > kMaxTraceLen)
+        fatal("restoreTrace: body length %u exceeds %u", n,
+              kMaxTraceLen);
+    trace.insts.clear();
+    for (std::uint8_t i = 0; i < n; ++i)
+        trace.insts.push_back(r.get<TraceInst>());
+    trace.fallThrough = r.get<Addr>();
+    trace.endReason = r.get<TraceEndReason>();
+    trace.preprocessed = r.get<bool>();
+    trace.origin = r.get<TraceOrigin>();
+    trace.buildCycle = r.get<Cycle>();
+}
 
 } // namespace tpre
 

@@ -8,14 +8,61 @@
 namespace tpre
 {
 
-TraceCache::TraceCache(std::size_t numEntries, unsigned assoc)
-    : assoc_(assoc)
+TraceCache::TraceCache(std::size_t numEntries, unsigned assoc,
+                       mem::ArenaRef arena)
+    : assoc_(assoc), entries_(mem::ArenaAllocator<Entry>(arena))
 {
     tpre_assert(assoc >= 1);
     tpre_assert(numEntries >= assoc && numEntries % assoc == 0,
                 "entry count must be a multiple of associativity");
     numSets_ = numEntries / assoc;
     entries_.resize(numEntries);
+}
+
+void
+TraceCache::save(mem::ByteWriter &w) const
+{
+    w.put<std::uint64_t>(entries_.size());
+    w.put(assoc_);
+    for (const Entry &e : entries_) {
+        w.put(e.valid);
+        if (!e.valid)
+            continue;
+        w.put(e.lastUse);
+        w.put(e.hits);
+        saveTrace(w, e.trace);
+    }
+    w.put(useClock_);
+    w.put(now_);
+    w.put(prov_);
+}
+
+void
+TraceCache::restore(mem::ByteReader &r)
+{
+    const auto n = r.get<std::uint64_t>();
+    const auto assoc = r.get<unsigned>();
+    if (n != entries_.size() || assoc != assoc_) {
+        fatal("TraceCache::restore: geometry %llux%u does not match "
+              "the configured %zux%u",
+              static_cast<unsigned long long>(n), assoc,
+              entries_.size(), assoc_);
+    }
+    for (Entry &e : entries_) {
+        e.valid = r.get<bool>();
+        if (!e.valid) {
+            e.lastUse = 0;
+            e.hits = 0;
+            e.trace = Trace();
+            continue;
+        }
+        e.lastUse = r.get<std::uint64_t>();
+        e.hits = r.get<std::uint64_t>();
+        restoreTrace(r, e.trace);
+    }
+    useClock_ = r.get<std::uint64_t>();
+    now_ = r.get<Cycle>();
+    prov_ = r.get<ProvenanceTable>();
 }
 
 std::size_t

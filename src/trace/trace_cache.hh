@@ -11,8 +11,8 @@
 #define TPRE_TRACE_TRACE_CACHE_HH
 
 #include <cstddef>
-#include <vector>
 
+#include "mem/arena.hh"
 #include "trace/trace.hh"
 
 namespace tpre
@@ -28,7 +28,8 @@ class TraceCache
      *        instruction storage, matching the paper's sizing).
      * @param assoc Set associativity (paper: 2).
      */
-    TraceCache(std::size_t numEntries, unsigned assoc = 2);
+    TraceCache(std::size_t numEntries, unsigned assoc = 2,
+               mem::ArenaRef arena = {});
 
     /** Look up a trace; updates LRU on hit. nullptr on miss. */
     const Trace *lookup(const TraceId &id);
@@ -87,6 +88,10 @@ class TraceCache
     /** Per-origin lifetime ledger of every line this cache held. */
     const ProvenanceTable &provenance() const { return prov_; }
 
+    /** Checkpoint/restore entries, LRU state and provenance. */
+    void save(mem::ByteWriter &w) const;
+    void restore(mem::ByteReader &r);
+
   protected:
     struct Entry
     {
@@ -115,7 +120,7 @@ class TraceCache
   private:
     unsigned assoc_;
     std::size_t numSets_;
-    std::vector<Entry> entries_;
+    mem::ArenaVector<Entry> entries_;
     std::uint64_t useClock_ = 0;
     /** Provenance clock (simulated cycles); see advanceTo(). */
     Cycle now_ = 0;

@@ -222,9 +222,9 @@ TEST(ParallelSweepTest, SharedSimulatorCacheIsRaceFree)
     // object per (benchmark, seed). Run under TSan in CI.
     Simulator sim;
     const char *names[] = {"compress", "ijpeg", "li", "m88ksim"};
-    std::vector<const GeneratedWorkload *> got(32, nullptr);
+    std::vector<std::shared_ptr<const GeneratedWorkload>> got(32);
     par::runJobs(got.size(), 8, 0, [&](std::size_t i, Rng &) {
-        got[i] = &sim.workload(names[i % 4], 7);
+        got[i] = sim.workload(names[i % 4], 7);
     });
     for (std::size_t i = 4; i < got.size(); ++i)
         EXPECT_EQ(got[i], got[i % 4]);

@@ -79,11 +79,11 @@ TEST(SimulatorTest, RunsTimingMode)
 TEST(SimulatorTest, WorkloadCachedAcrossRuns)
 {
     Simulator sim;
-    const GeneratedWorkload &a = sim.workload("li", 7);
-    const GeneratedWorkload &b = sim.workload("li", 7);
-    EXPECT_EQ(&a, &b);
-    const GeneratedWorkload &c = sim.workload("li", 8);
-    EXPECT_NE(&a, &c);
+    const auto a = sim.workload("li", 7);
+    const auto b = sim.workload("li", 7);
+    EXPECT_EQ(a.get(), b.get());
+    const auto c = sim.workload("li", 8);
+    EXPECT_NE(a.get(), c.get());
 }
 
 TEST(SweepTest, Figure5GridShape)

@@ -471,7 +471,8 @@ TEST(ProvenanceTest, DiffOracleChecksProvenanceEveryCase)
     // diff over a non-trivial case is the end-to-end guarantee the
     // fuzzer relies on.
     Simulator sim;
-    const Program &program = sim.workload("go", 0).program;
+    const auto workload = sim.workload("go", 0);
+    const Program &program = workload->program;
     check::DiffConfig cfg;
     cfg.traceCacheEntries = 64;
     cfg.preconEnabled = true;

@@ -13,6 +13,18 @@ Usage:
     perf_gate.py <BENCH_report.json> [--baseline bench/BASELINE.json]
                  [--tolerance 2.0]
 
+A report produced with --jobs N > 1 measures the sharded engine's
+aggregate throughput, which is not comparable to the single-thread
+reference. Such reports are gated against the baseline entry's
+optional "parallel" sub-entry instead:
+
+    {"fig5_miss_rates": {"jobs": 1, "mips": 14.5, "mips_floor": 7.0,
+        "parallel": {"jobs": 4, "mips": 40.0, "mips_floor": 20.0}}}
+
+A parallel report with no "parallel" sub-entry, or one recorded at a
+different job count, is skipped with a warning (exit 0): gating 4-job
+throughput against a 8-job reference would be meaningless.
+
 Exit status: 0 when the report passes (or names a new benchmark with
 no baseline entry yet, with a warning), 1 on a regression or a
 malformed report/baseline.
@@ -29,36 +41,12 @@ REQUIRED_REPORT_FIELDS = ("bench", "mips", "simulated_instructions",
                           "wall_seconds")
 
 
-def evaluate(report, baseline, tolerance=2.0):
-    """Judge one bench report against the baseline table.
+def _gate_against(name, mips, entry, tolerance, what):
+    """Gate a measured MIPS value against one baseline entry.
 
-    Returns (exit_code, message): exit_code 0 for pass/skip, 1 for a
-    regression or malformed input. Never raises on malformed data —
-    every defect maps to a code-1 message naming the problem.
+    Shared by the single-thread and parallel paths; `what` names the
+    metric in messages ("aggregate MIPS at 4 jobs" vs "MIPS").
     """
-    if not isinstance(report, dict):
-        return 1, "perf gate: report is not a JSON object"
-    if not isinstance(baseline, dict):
-        return 1, "perf gate: baseline is not a JSON object"
-
-    for field in REQUIRED_REPORT_FIELDS:
-        if field not in report:
-            return 1, (f"perf gate: report lacks required field "
-                       f"'{field}'")
-
-    name = report["bench"]
-    mips = report["mips"]
-    if isinstance(mips, bool) or not isinstance(mips, (int, float)) \
-            or mips <= 0:
-        return 1, (f"perf gate: report has non-positive mips "
-                   f"{mips!r}")
-
-    if name not in baseline:
-        return 0, (f"perf gate: new benchmark '{name}' has no "
-                   f"baseline entry; skipping comparison (commit a "
-                   f"reference MIPS to enable the gate)")
-
-    entry = baseline[name]
     if not isinstance(entry, dict) or "mips" not in entry:
         return 1, (f"perf gate: baseline entry for '{name}' lacks "
                    f"'mips'")
@@ -90,10 +78,72 @@ def evaluate(report, baseline, tolerance=2.0):
             floor = float(abs_floor)
             floor_src = "absolute mips_floor"
     verdict = "PASS" if mips >= floor else "FAIL"
-    message = (f"perf gate [{verdict}]: {name} at {mips:.2f} MIPS, "
-               f"baseline {ref:.2f}, floor {floor:.2f} "
+    message = (f"perf gate [{verdict}]: {name} at {mips:.2f} "
+               f"{what}, baseline {ref:.2f}, floor {floor:.2f} "
                f"({floor_src})")
     return (0 if mips >= floor else 1), message
+
+
+def evaluate(report, baseline, tolerance=2.0):
+    """Judge one bench report against the baseline table.
+
+    Returns (exit_code, message): exit_code 0 for pass/skip, 1 for a
+    regression or malformed input. Never raises on malformed data —
+    every defect maps to a code-1 message naming the problem.
+    """
+    if not isinstance(report, dict):
+        return 1, "perf gate: report is not a JSON object"
+    if not isinstance(baseline, dict):
+        return 1, "perf gate: baseline is not a JSON object"
+
+    for field in REQUIRED_REPORT_FIELDS:
+        if field not in report:
+            return 1, (f"perf gate: report lacks required field "
+                       f"'{field}'")
+
+    name = report["bench"]
+    mips = report["mips"]
+    if isinstance(mips, bool) or not isinstance(mips, (int, float)) \
+            or mips <= 0:
+        return 1, (f"perf gate: report has non-positive mips "
+                   f"{mips!r}")
+
+    jobs = report.get("jobs", 1)
+    if isinstance(jobs, bool) or not isinstance(jobs, int) \
+            or jobs <= 0:
+        return 1, f"perf gate: report has invalid jobs {jobs!r}"
+
+    if name not in baseline:
+        return 0, (f"perf gate: new benchmark '{name}' has no "
+                   f"baseline entry; skipping comparison (commit a "
+                   f"reference MIPS to enable the gate)")
+
+    entry = baseline[name]
+    if jobs == 1:
+        return _gate_against(name, mips, entry, tolerance, "MIPS")
+
+    # Parallel report: aggregate throughput over N workers is only
+    # comparable to a reference recorded at the same job count.
+    if not isinstance(entry, dict) or "parallel" not in entry:
+        return 0, (f"perf gate: '{name}' report ran at {jobs} jobs "
+                   f"but the baseline has no 'parallel' entry; "
+                   f"skipping comparison (commit a parallel "
+                   f"reference to enable the gate)")
+    par = entry["parallel"]
+    if not isinstance(par, dict) or "jobs" not in par:
+        return 1, (f"perf gate: baseline 'parallel' entry for "
+                   f"'{name}' lacks 'jobs'")
+    ref_jobs = par["jobs"]
+    if isinstance(ref_jobs, bool) or not isinstance(ref_jobs, int) \
+            or ref_jobs <= 0:
+        return 1, (f"perf gate: baseline 'parallel' entry for "
+                   f"'{name}' has invalid jobs {ref_jobs!r}")
+    if ref_jobs != jobs:
+        return 0, (f"perf gate: '{name}' report ran at {jobs} jobs "
+                   f"but the parallel baseline was recorded at "
+                   f"{ref_jobs}; skipping comparison")
+    return _gate_against(name, mips, par, tolerance,
+                         f"aggregate MIPS at {jobs} jobs")
 
 
 def main(argv=None):

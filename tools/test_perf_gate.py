@@ -100,6 +100,104 @@ def test_entry_without_mips_floor_unchanged():
     assert "tolerance" in msg
 
 
+# --- parallel (aggregate MIPS at --jobs N) gating ---------------
+
+def parallel_report(mips=40.0, jobs=4):
+    report = good_report(mips=mips)
+    report["jobs"] = jobs
+    return report
+
+
+def parallel_baseline(mips=40.0, jobs=4, floor=None, serial=10.0):
+    entry = {"mips": serial,
+             "parallel": {"jobs": jobs, "mips": mips}}
+    if floor is not None:
+        entry["parallel"]["mips_floor"] = floor
+    return {"fig5": entry}
+
+
+def test_parallel_pass_and_fail_around_floor():
+    baseline = parallel_baseline(mips=40.0)
+    code, msg = evaluate(parallel_report(mips=40.0), baseline)
+    assert code == 0, msg
+    assert "aggregate MIPS at 4 jobs" in msg
+    # tolerance 2x: 20 passes, below fails.
+    code, msg = evaluate(parallel_report(mips=20.0), baseline)
+    assert code == 0, msg
+    code, msg = evaluate(parallel_report(mips=19.9), baseline)
+    assert code == 1
+    assert "[FAIL]" in msg
+
+
+def test_parallel_report_not_gated_against_serial_entry():
+    # A 4-job report at 8 MIPS would fail the serial 14.5 floor;
+    # it must be judged only against the parallel sub-entry.
+    baseline = parallel_baseline(mips=10.0, serial=14.5)
+    code, msg = evaluate(parallel_report(mips=8.0), baseline)
+    assert code == 0, msg
+
+
+def test_serial_report_ignores_parallel_entry():
+    baseline = parallel_baseline(mips=100.0, serial=10.0)
+    report = good_report(mips=10.0)
+    report["jobs"] = 1
+    code, msg = evaluate(report, baseline)
+    assert code == 0, msg
+    assert "aggregate" not in msg
+
+
+def test_parallel_absolute_floor_binds():
+    baseline = parallel_baseline(mips=40.0, floor=30.0)
+    code, msg = evaluate(parallel_report(mips=25.0), baseline)
+    assert code == 1
+    assert "absolute mips_floor" in msg
+    code, msg = evaluate(parallel_report(mips=30.0), baseline)
+    assert code == 0, msg
+
+
+def test_parallel_without_baseline_entry_skips():
+    code, msg = evaluate(parallel_report(), baseline_with())
+    assert code == 0
+    assert "no 'parallel' entry" in msg
+
+
+def test_parallel_job_count_mismatch_skips():
+    baseline = parallel_baseline(jobs=8)
+    code, msg = evaluate(parallel_report(jobs=4), baseline)
+    assert code == 0
+    assert "recorded at 8" in msg
+
+
+def test_report_without_jobs_field_is_serial():
+    report = good_report(mips=10.0)
+    assert "jobs" not in report
+    code, msg = evaluate(report, parallel_baseline(serial=10.0))
+    assert code == 0, msg
+    assert "aggregate" not in msg
+
+
+def test_parallel_malformed_entries_are_errors():
+    for par in ({"mips": 40.0},                 # no jobs
+                {"jobs": "4", "mips": 40.0},    # non-int jobs
+                {"jobs": True, "mips": 40.0},   # bool jobs
+                {"jobs": 0, "mips": 40.0},      # non-positive jobs
+                {"jobs": 4},                    # no mips
+                {"jobs": 4, "mips": "fast"},    # non-numeric mips
+                {"jobs": 4, "mips": -1}):       # non-positive mips
+        baseline = {"fig5": {"mips": 10.0, "parallel": par}}
+        code, msg = evaluate(parallel_report(), baseline)
+        assert code == 1, f"parallel={par!r} accepted: {msg}"
+
+
+def test_report_malformed_jobs_values_are_errors():
+    for bad in ("4", True, 0, -2, 1.5):
+        report = good_report()
+        report["jobs"] = bad
+        code, msg = evaluate(report, baseline_with())
+        assert code == 1, f"jobs={bad!r} accepted: {msg}"
+        assert "jobs" in msg
+
+
 # --- new benchmark: warn and skip -------------------------------
 
 def test_new_benchmark_skips_with_warning():
