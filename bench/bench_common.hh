@@ -84,7 +84,10 @@ verified(const SimResult &r)
  * 127.0.0.1:N for the duration of the run; port 0 picks an
  * ephemeral port) and --replay FILE (replay a recorded `.tpt`
  * trace through the fast frontend instead of running the binary's
- * own sweep). TPRE_HEARTBEAT_SECS=N publishes a progress
+ * own sweep) and --sample (SMARTS-style sampled simulation: apply
+ * sample::defaultSpec to every Fast-mode row via applySample(),
+ * unless TPRE_SAMPLE_* pins an explicit regime).
+ * TPRE_HEARTBEAT_SECS=N publishes a progress
  * heartbeat every N seconds, and the crash flight recorder is
  * always installed (opt out with TPRE_FLIGHT_RECORDER=0). Times
  * the run, collects verified result rows, and writes
@@ -128,6 +131,28 @@ class Harness
     /** Was --replay FILE given? The binary should short-circuit:
      *    if (harness.replaying()) return harness.runReplay();   */
     bool replaying() const { return !opts_.replay.empty(); }
+
+    /** Was --sample given (SMARTS-style sampled simulation)? */
+    bool sampling() const { return opts_.sample; }
+
+    /**
+     * Apply the --sample flag to one experiment config: fills in
+     * sample::defaultSpec for the config's budget unless explicit
+     * TPRE_SAMPLE_* knobs already configured a regime. A no-op
+     * without --sample, so binaries can call it unconditionally.
+     */
+    SimConfig &
+    applySample(SimConfig &cfg) const
+    {
+        if (!opts_.sample || cfg.sampleEvery != 0)
+            return cfg;
+        const sample::SampleSpec spec =
+            sample::defaultSpec(cfg.maxInsts);
+        cfg.sampleEvery = spec.every;
+        cfg.sampleWindow = spec.window;
+        cfg.sampleWarmup = spec.warmup;
+        return cfg;
+    }
 
     /**
      * Replay the --replay `.tpt` file through the fast frontend
@@ -238,6 +263,8 @@ class Harness
         int telemetryPort = -1;
         /** `.tpt` file to replay instead of the binary's sweep. */
         std::string replay;
+        /** SMARTS-style sampled simulation (sample::defaultSpec). */
+        bool sample = false;
     };
 
     static Options
@@ -277,10 +304,14 @@ class Harness
                 opts.replay = arg.substr(9);
                 if (opts.replay.empty())
                     fatal("--replay needs a .tpt file path");
+            } else if (arg == "--sample") {
+                opts.sample = true;
             } else {
                 fatal("unknown option '%s' (supported: --jobs N, "
                       "--trace-out FILE, --telemetry-port N, "
-                      "--replay FILE; budget via TPRE_INSTS)",
+                      "--replay FILE, --sample; budget via "
+                      "TPRE_INSTS, sampling regime via "
+                      "TPRE_SAMPLE_EVERY/WINDOW/WARMUP)",
                       arg.c_str());
             }
         }

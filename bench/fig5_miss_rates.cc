@@ -48,6 +48,7 @@ main(int argc, char **argv)
             cfg.maxInsts = insts;
             cfg.traceCacheEntries = p.tcEntries;
             cfg.preconBufferEntries = p.pbEntries;
+            harness.applySample(cfg);
             configs.push_back(std::move(cfg));
         }
     }
@@ -88,6 +89,39 @@ main(int argc, char **argv)
 
         std::printf("\n--- %s ---\n%s", name.c_str(),
                     table.render().c_str());
+    }
+
+    // Sampled-mode summary (--sample): the table above then holds
+    // SMARTS-style extrapolated estimates, and the honest mixed-mode
+    // MIPS lands in the JSON report for the perf gate's `sampled`
+    // baseline entry.
+    if (harness.sampling()) {
+        std::uint64_t windows = 0;
+        InstCount sampled = 0, skipped = 0, total = 0;
+        double ciSum = 0.0;
+        std::size_t sampledRows = 0;
+        for (const SimResult &r : results) {
+            if (!r.sampled)
+                continue;
+            ++sampledRows;
+            windows += r.sampleWindows;
+            sampled += r.sampledInsts;
+            skipped += r.skippedInsts;
+            total += r.instructions;
+            ciSum += r.ci95MissesPerKi;
+        }
+        if (sampledRows > 0) {
+            std::printf(
+                "\nsampled mode: %zu/%zu rows sampled, %llu "
+                "windows, %.1f%% of instructions fast-forwarded, "
+                "mean ci95 %.3f misses/KI\n",
+                sampledRows, results.size(),
+                static_cast<unsigned long long>(windows),
+                total ? 100.0 * static_cast<double>(skipped) /
+                            static_cast<double>(total)
+                      : 0.0,
+                ciSum / static_cast<double>(sampledRows));
+        }
     }
 
     // Warm-state reuse pass (TPRE_WARM_INSTS=W): re-run the same

@@ -54,6 +54,11 @@ main(int argc, char **argv)
         configs.push_back(timingConfig(name, 512, 0, insts));
         configs.push_back(timingConfig(name, 256, 256, insts));
     }
+    // --sample is accepted for CLI uniformity, but timing mode
+    // cannot fast-forward: every row falls back to a detailed run
+    // and says so in the JSON (sample_fallback: "timing-mode").
+    for (SimConfig &cfg : configs)
+        harness.applySample(cfg);
     const std::vector<SimResult> results =
         par::runParallelGrid(sim, configs, harness.sweepOptions());
 

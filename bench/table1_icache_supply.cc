@@ -39,6 +39,8 @@ main(int argc, char **argv)
         pre.preconBufferEntries = 256;
         configs.push_back(pre);
     }
+    for (SimConfig &cfg : configs)
+        harness.applySample(cfg);
     const std::vector<SimResult> results =
         par::runParallelGrid(sim, configs, harness.sweepOptions());
 

@@ -411,6 +411,72 @@ diffModels(const Program &program, const DiffConfig &cfg)
         }
     }
 
+    // --- Sampled simulation -------------------------------------
+    // Two properties on sample::runSampled. (1) A degenerate spec
+    // (window >= budget) must fall back to the plain detailed loop
+    // and be bit-identical to the live run. (2) A contract-style
+    // high-duty spec scaled to the budget must produce stratified
+    // miss-rate and coverage estimates inside a tolerance envelope
+    // of the detailed run's true rates, and its instruction
+    // accounting must balance. The envelope combines the run's own
+    // 95% interval with calibrated floors: functional skips perturb
+    // the frontend trajectory by a few misses each (independent of
+    // skip length), so short fuzz budgets carry an irreducible
+    // absolute noise floor that shrinks only as totals grow.
+    {
+        FastSimConfig scfg;
+        scfg.traceCacheEntries = cfg.traceCacheEntries;
+        scfg.traceCacheAssoc = cfg.traceCacheAssoc;
+        scfg.selection = cfg.selection;
+        scfg.preconEnabled = cfg.preconEnabled;
+        scfg.precon = cfg.precon;
+
+        {
+            sample::SampleSpec degenerate;
+            degenerate.every = cfg.maxInsts;
+            degenerate.window = cfg.maxInsts;
+
+            FastSim sim(program, scfg);
+            const sample::SampledRun run =
+                sample::runSampled(sim, degenerate, cfg.maxInsts);
+            if (run.sampled) {
+                result.failure =
+                    "sampling-degenerate: window >= budget did not "
+                    "fall back to the detailed loop";
+                return result;
+            }
+            if (auto f = prefixed("sampling-degenerate",
+                                  fastStatsEqual(liveStats,
+                                                 run.raw))) {
+                result.failure = f;
+                return result;
+            }
+        }
+
+        {
+            // Contract-regime proportions (sample::contractSpec)
+            // scaled to the fuzz budget: 92% window, 5% warm-up.
+            sample::SampleSpec spec;
+            spec.every = std::max<InstCount>(cfg.maxInsts / 8, 512);
+            spec.window =
+                std::max<InstCount>(spec.every / 100 * 92, 1);
+            spec.warmup = spec.every / 20;
+
+            FastSim sim(program, scfg);
+            const sample::SampledRun run =
+                sample::runSampled(sim, spec, cfg.maxInsts);
+            // Budgets below the window degenerate; the fall back
+            // was proven bit-identical above.
+            if (run.sampled) {
+                if (auto f = sampledRunSane(run, liveStats,
+                                            cfg.selection)) {
+                    result.failure = prefixed("sampling", f);
+                    return result;
+                }
+            }
+        }
+    }
+
     // --- .tpt codec round trip and replay equality ---------------
     // The committed stream was just shown identical to ref.stream,
     // so encoding the reference stream encodes exactly what the

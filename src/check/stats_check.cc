@@ -1,5 +1,7 @@
 #include "check/stats_check.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <tuple>
 #include <utility>
@@ -192,6 +194,90 @@ fastStatsEqual(const FastSimStats &live,
             return fail(std::string(name) + " diverges: live " +
                         num(a) + ", replay " + num(b));
     }
+    return std::nullopt;
+}
+
+Violation
+sampledRunSane(const sample::SampledRun &run,
+               const FastSimStats &detailed,
+               const SelectionPolicy &selection)
+{
+    if (run.windows == 0 || run.instructions == 0)
+        return fail("sampled run recorded no measurement windows "
+                    "over " + num(run.instructions) +
+                    " instructions");
+
+    // Accounting: measured + warm-up + skipped instructions must
+    // cover the run's forward progress. Window boundaries are
+    // core-instruction exact but the committed counters trail by up
+    // to one in-flight trace per boundary, so allow that much slack.
+    const std::uint64_t parts =
+        run.sampledInsts + run.warmInsts + run.skippedInsts;
+    const std::uint64_t slack =
+        2 * (run.windows + 2) * selection.maxLen;
+    const std::uint64_t diff = parts > run.instructions
+                                   ? parts - run.instructions
+                                   : run.instructions - parts;
+    if (diff > slack)
+        return fail("instruction accounting off by " + num(diff) +
+                    " (> slack " + num(slack) + "): sampled " +
+                    num(run.sampledInsts) + " + warm " +
+                    num(run.warmInsts) + " + skipped " +
+                    num(run.skippedInsts) + " vs total " +
+                    num(run.instructions));
+
+    if (run.coverage.mean < 0.0 || run.coverage.mean > 1.0)
+        return fail("coverage estimate " +
+                    std::to_string(run.coverage.mean) +
+                    " is not a fraction");
+
+    if (detailed.instructions == 0)
+        return std::nullopt;
+
+    // Estimate envelopes. The floors are calibrated over the fuzz
+    // corpus: every functional skip perturbs the frontend
+    // trajectory by a few misses when detailed execution resumes,
+    // independent of skip length, so the noise floor is absolute in
+    // miss *count* — it scales with the number of windows and
+    // dominates when the measured slice is small (tiny budgets).
+    // The bound is the run's own interval widened by relative,
+    // absolute, and per-skip floors, never a bare CI.
+    const double insts = static_cast<double>(detailed.instructions);
+    const double trueMisses =
+        1000.0 * static_cast<double>(detailed.tcMisses) / insts;
+    const double sampledKi =
+        static_cast<double>(run.sampledInsts) / 1000.0;
+    const double perSkip =
+        6.0 * static_cast<double>(run.windows) / sampledKi;
+    const double missTol =
+        std::max({4.0 * run.missesPerKi.ci95, 0.25 * trueMisses,
+                  2.0, perSkip});
+    const double missErr =
+        std::abs(run.missesPerKi.mean - trueMisses);
+    if (missErr > missTol)
+        return fail("miss-rate estimate " +
+                    std::to_string(run.missesPerKi.mean) +
+                    "/KI is " + std::to_string(missErr) +
+                    " from the detailed run's " +
+                    std::to_string(trueMisses) +
+                    "/KI (tolerance " + std::to_string(missTol) +
+                    ", ci95 " +
+                    std::to_string(run.missesPerKi.ci95) + ")");
+
+    const double trueCover =
+        (insts - static_cast<double>(detailed.slowPathInsts)) /
+        insts;
+    const double coverTol =
+        std::max(4.0 * run.coverage.ci95, 0.15);
+    const double coverErr = std::abs(run.coverage.mean - trueCover);
+    if (coverErr > coverTol)
+        return fail("coverage estimate " +
+                    std::to_string(run.coverage.mean) + " is " +
+                    std::to_string(coverErr) +
+                    " from the detailed run's " +
+                    std::to_string(trueCover) + " (tolerance " +
+                    std::to_string(coverTol) + ", ci95 " +
+                    std::to_string(run.coverage.ci95) + ")");
     return std::nullopt;
 }
 

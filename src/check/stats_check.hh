@@ -12,6 +12,7 @@
 #define TPRE_CHECK_STATS_CHECK_HH
 
 #include "check/invariants.hh"
+#include "sample/sample.hh"
 #include "tproc/fast_sim.hh"
 #include "tproc/processor.hh"
 
@@ -39,6 +40,23 @@ Violation fastStatsEqual(const FastSimStats &live,
 
 /** Conservation across a finished TraceProcessor run. */
 Violation statsConserved(const ProcessorStats &s);
+
+/**
+ * Sanity of one sampled run (sample::runSampled, non-degenerate)
+ * against the same program's full detailed statistics: instruction
+ * accounting balances to within trace-boundary slack, coverage stays
+ * a fraction, and the stratified miss-rate and coverage estimates
+ * land inside a tolerance envelope of the detailed run's true rates.
+ * The envelope is max(4 x the run's own ci95, calibrated relative
+ * and absolute floors): each functional skip perturbs the frontend
+ * trajectory by a few misses regardless of skip length, so short
+ * budgets carry an absolute noise floor the estimator cannot beat
+ * (DESIGN.md section 16). Callers prefix violations with their
+ * category ("sampling-...").
+ */
+Violation sampledRunSane(const sample::SampledRun &run,
+                         const FastSimStats &detailed,
+                         const SelectionPolicy &selection);
 
 } // namespace tpre::check
 

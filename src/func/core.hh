@@ -269,6 +269,30 @@ class FunctionalCore
         instCount_ += n;
     }
 
+    /**
+     * Fast-forward entry point (sampled simulation): execute up to
+     * @p n instructions without materializing dynamic records —
+     * architectural state, PC and the instruction counter advance
+     * exactly as n step() calls would, but nothing is produced for
+     * a frontend to consume. Returns the instructions executed
+     * (short only when the program halts). Safe to call when
+     * already halted (returns 0).
+     */
+    InstCount
+    skip(InstCount n)
+    {
+        InstCount done = 0;
+        while (!halted_ && done < n) {
+            const Instruction &inst = program_.instAt(pc_);
+            const ExecResult res = executeInst(inst, pc_, state_);
+            halted_ = res.halted;
+            pc_ = res.nextPc;
+            ++instCount_;
+            ++done;
+        }
+        return done;
+    }
+
     bool halted() const { return halted_; }
     Addr pc() const { return pc_; }
     InstCount instsExecuted() const { return instCount_; }

@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "sample/sample.hh"
 #include "tproc/fast_sim.hh"
 #include "tproc/processor.hh"
 #include "workload/profile.hh"
@@ -66,6 +67,33 @@ struct SimConfig
      * warmupInsts >= maxInsts) fall back to cold and say so.
      */
     InstCount warmupInsts = 0;
+
+    /**
+     * SMARTS-style sampled simulation (Fast mode, DESIGN.md
+     * section 16): every sampleEvery instructions, run
+     * sampleWarmup detailed instructions to re-warm the frontend
+     * and measure a sampleWindow-instruction detailed window; the
+     * rest of each period is skipped by functional fast-forward.
+     * Per-window rates extrapolate to the whole run with a 95%
+     * confidence interval from the window variance. sampleEvery 0
+     * disables sampling; the defaults honour the strictly parsed
+     * TPRE_SAMPLE_EVERY / TPRE_SAMPLE_WINDOW / TPRE_SAMPLE_WARMUP
+     * environment knobs. Runs that cannot sample (timing mode, tpt
+     * dumps, window >= budget) fall back to detailed and say so in
+     * the result.
+     */
+    InstCount sampleEvery = sample::knobFromEnv("TPRE_SAMPLE_EVERY");
+    InstCount sampleWindow =
+        sample::knobFromEnv("TPRE_SAMPLE_WINDOW");
+    InstCount sampleWarmup =
+        sample::knobFromEnv("TPRE_SAMPLE_WARMUP");
+
+    /** The sampling knobs as a sample::SampleSpec. */
+    sample::SampleSpec
+    sampleSpec() const
+    {
+        return {sampleEvery, sampleWindow, sampleWarmup};
+    }
 
     SelectionPolicy selection;
     /** Extra preconstruction knobs (ablations). */

@@ -167,8 +167,11 @@ std::string
 BenchReport::render(double wallSeconds) const
 {
     std::uint64_t total_insts = 0;
-    for (const SimResult &r : rows_)
+    bool any_sampled = false;
+    for (const SimResult &r : rows_) {
         total_insts += r.instructions;
+        any_sampled = any_sampled || r.sampled;
+    }
 
     std::string out;
     out += "{\n";
@@ -176,6 +179,11 @@ BenchReport::render(double wallSeconds) const
     out += "  \"git_ref\": \"" + jsonEscape(gitRef()) + "\",\n";
     out += "  \"wall_seconds\": " + jsonNumber(wallSeconds) + ",\n";
     out += "  \"jobs\": " + u64(jobs_) + ",\n";
+    // True when any row's counters are sampled extrapolations: the
+    // aggregate mips below then measures the mixed fast-forward +
+    // detailed mode and must only be gated against sampled-mode
+    // baselines (tools/perf_gate.py keys on this).
+    out += "  \"sampled\": " + boolWord(any_sampled) + ",\n";
     out += "  \"simulated_instructions\": " + u64(total_insts) +
            ",\n";
     // Aggregate throughput: all simulated instructions over the
@@ -215,6 +223,25 @@ BenchReport::render(double wallSeconds) const
                jsonEscape(r.warmFallback) + "\", ";
         out += "\"combined_kb\": " + jsonNumber(c.combinedKb()) +
                ", ";
+        // Sampled simulation: whether the row's counters are
+        // SMARTS-style extrapolations, how many measurement windows
+        // contributed, the detailed/skipped split, the coverage
+        // estimate, and the 95% confidence half-widths (0 when the
+        // estimate is exact or unbounded). sample_fallback names why
+        // a row that requested sampling ran detailed instead.
+        out += "\"sampled\": " + boolWord(r.sampled) + ", ";
+        out += "\"sample_fallback\": \"" +
+               jsonEscape(r.sampleFallback) + "\", ";
+        out += "\"windows\": " + u64(r.sampleWindows) + ", ";
+        out += "\"sampled_insts\": " + u64(r.sampledInsts) + ", ";
+        out += "\"skipped_insts\": " + u64(r.skippedInsts) + ", ";
+        out += "\"coverage\": " + jsonNumber(r.coverage) + ", ";
+        out += "\"ci95_misses_per_ki\": " +
+               jsonNumber(r.ci95MissesPerKi) + ", ";
+        out += "\"ci95_coverage\": " + jsonNumber(r.ci95Coverage) +
+               ", ";
+        out += "\"ci95_icache_misses_per_ki\": " +
+               jsonNumber(r.ci95IcacheMissesPerKi) + ", ";
         out += "\"instructions\": " + u64(r.instructions) + ", ";
         out += "\"cycles\": " + u64(r.cycles) + ", ";
         out += "\"ipc\": " + jsonNumber(r.ipc) + ", ";

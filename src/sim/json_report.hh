@@ -10,6 +10,7 @@
  *     "git_ref": "<TPRE_GIT_REF | GITHUB_SHA | unknown>",
  *     "wall_seconds": <total wall-clock of the run>,
  *     "jobs": <worker threads used>,
+ *     "sampled": <any row used SMARTS-style sampling?>,
  *     "simulated_instructions": <sum of row instruction counts>,
  *     "mips": <simulated_instructions / 1e6 / wall_seconds;
  *              aggregate across all jobs>,
@@ -26,6 +27,10 @@
  *         "benchmark": "...", "mode": "fast|timing",
  *         "tc_entries": N, "pb_entries": N, "prep": bool,
  *         "workload_seed": N, "max_insts": N, "combined_kb": X,
+ *         "sampled": bool, "sample_fallback": "...",
+ *         "windows": N, "sampled_insts": N, "skipped_insts": N,
+ *         "coverage": X, "ci95_misses_per_ki": X,
+ *         "ci95_coverage": X, "ci95_icache_misses_per_ki": X,
  *         "instructions": N, "cycles": N, "ipc": X,
  *         "missesPerKi": X, "traces": N, "tc_misses": N,
  *         "pb_hits": N, "icache_supply_per_ki": X,

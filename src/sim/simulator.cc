@@ -1,6 +1,8 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <utility>
 
 #include "common/logging.hh"
@@ -30,12 +32,69 @@ makeFastResult(const SimConfig &config, const FastSimStats &st)
             static_cast<double>(st.icache.totalMisses()) / ki;
         result.icacheMissSupplyPerKi =
             static_cast<double>(st.slowPathInstsFromMisses) / ki;
+        result.coverage =
+            static_cast<double>(st.instructions -
+                                st.slowPathInsts) /
+            static_cast<double>(st.instructions);
     }
     result.precon = st.precon;
     result.provenance = st.provenance;
     result.blocksDecoded = st.blocks.decoded;
     result.blockHits = st.blocks.hits;
     result.blockInvalidations = st.blocks.invalidations;
+    return result;
+}
+
+SimResult
+makeSampledResult(const SimConfig &config,
+                  const sample::SampledRun &run)
+{
+    if (!run.sampled) {
+        SimResult result = makeFastResult(config, run.raw);
+        result.sampleFallback = run.fallback;
+        return result;
+    }
+
+    SimResult result;
+    result.config = config;
+    result.sampled = true;
+    result.sampleWindows = run.windows;
+    result.sampledInsts = run.sampledInsts;
+    result.skippedInsts = run.skippedInsts;
+    // Total forward progress, so mips reports the honest mixed-mode
+    // rate; sampled_insts/skipped_insts make the split explicit.
+    result.instructions = run.instructions;
+
+    const double ki =
+        static_cast<double>(run.instructions) / 1000.0;
+    const auto scaled = [ki](double perKi) {
+        return static_cast<std::uint64_t>(
+            std::llround(std::max(0.0, perKi) * ki));
+    };
+    result.traces = scaled(run.tracesPerKi.mean);
+    // Consistent scaling keeps the tcMisses <= traces invariant;
+    // the clamp only absorbs rounding at the last digit.
+    result.tcMisses =
+        std::min(scaled(run.missesPerKi.mean), result.traces);
+    result.pbHits = scaled(run.pbHitsPerKi.mean);
+    result.cycles = scaled(run.cyclesPerKi.mean);
+
+    result.missesPerKi = run.missesPerKi.mean;
+    result.icacheSupplyPerKi = run.icacheSupplyPerKi.mean;
+    result.icacheMissesPerKi = run.icacheMissesPerKi.mean;
+    result.icacheMissSupplyPerKi = run.icacheMissSupplyPerKi.mean;
+    result.coverage = run.coverage.mean;
+    result.ci95MissesPerKi = run.missesPerKi.ci95;
+    result.ci95Coverage = run.coverage.ci95;
+    result.ci95IcacheMissesPerKi = run.icacheMissesPerKi.ci95;
+
+    // Raw, not extrapolated: these ledgers are internally conserved
+    // (preconStatsSane) and cover the detailed portions only.
+    result.precon = run.raw.precon;
+    result.provenance = run.raw.provenance;
+    result.blocksDecoded = run.raw.blocks.decoded;
+    result.blockHits = run.raw.blocks.hits;
+    result.blockInvalidations = run.raw.blocks.invalidations;
     return result;
 }
 
@@ -204,6 +263,23 @@ Simulator::run(const SimConfig &config)
         }
     }
 
+    // Sampled simulation: resolve (and validate) the spec up front;
+    // runs that cannot sample fall back to detailed and record why.
+    // A .tpt dump needs every committed instruction on the commit
+    // hook, which functional fast-forward never materializes.
+    const sample::SampleSpec sampleSpec =
+        config.sampleSpec().resolved();
+    bool sampleRun = false;
+    std::string sampleFallback;
+    if (sampleSpec.enabled()) {
+        if (config.mode != SimMode::Fast)
+            sampleFallback = "timing-mode";
+        else if (!config.tptDump.empty())
+            sampleFallback = "tpt-dump";
+        else
+            sampleRun = true;
+    }
+
     TPRE_OBS_WALL_SPAN("sim", "run");
     TPRE_OBS_COUNT("sim.runs");
     const auto start = std::chrono::steady_clock::now();
@@ -238,15 +314,18 @@ Simulator::run(const SimConfig &config)
 
         {
             FastSim sim(wl->program, fcfg);
-            const FastSimStats *st;
-            if (warmRun) {
+            if (warmRun)
                 sim.forkFrom(*warmCp);
-                st = &sim.run(config.maxInsts -
-                              config.warmupInsts);
+            const InstCount budget =
+                warmRun ? config.maxInsts - config.warmupInsts
+                        : config.maxInsts;
+            if (sampleRun) {
+                result = makeSampledResult(
+                    config,
+                    sample::runSampled(sim, sampleSpec, budget));
             } else {
-                st = &sim.run(config.maxInsts);
+                result = makeFastResult(config, sim.run(budget));
             }
-            result = makeFastResult(config, *st);
 
             if (dump) {
                 if (!tracefmt::writeFileBytes(config.tptDump,
@@ -255,7 +334,7 @@ Simulator::run(const SimConfig &config)
                           config.tptDump.c_str());
                 inform("wrote %llu-instruction trace to %s",
                        static_cast<unsigned long long>(
-                           st->instructions),
+                           result.instructions),
                        config.tptDump.c_str());
             }
         }
@@ -300,6 +379,10 @@ Simulator::run(const SimConfig &config)
     result.warm = warmRun;
     result.warmupInsts = config.warmupInsts;
     result.warmFallback = warmFallback;
+    // A degenerate sampled run records its own fallback reason
+    // ("window>=maxInsts"); preserve it over the empty string here.
+    if (!result.sampled && result.sampleFallback.empty())
+        result.sampleFallback = sampleFallback;
     TPRE_OBS_COUNT("sim.instructions", result.instructions);
     return result;
 }

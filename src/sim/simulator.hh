@@ -81,6 +81,34 @@ struct SimResult
      * "tpt-dump" or "warmup>=maxInsts".
      */
     std::string warmFallback;
+    /**
+     * SMARTS-style sampled run (DESIGN.md section 16): the counters
+     * above are extrapolated from the measurement windows'
+     * per-window rates and `instructions` counts total forward
+     * progress (detailed + skipped), so mips is the honest mixed-
+     * mode rate. The precon/provenance ledgers stay raw (detailed
+     * portions only) — they are conserved, not extrapolated.
+     */
+    bool sampled = false;
+    /** Completed measurement windows (sampled runs). */
+    std::uint64_t sampleWindows = 0;
+    /** Instructions measured inside detailed windows. */
+    InstCount sampledInsts = 0;
+    /** Instructions advanced by functional fast-forward. */
+    InstCount skippedInsts = 0;
+    /**
+     * Why requested sampling fell back to a detailed run (empty
+     * when sampled or when sampling was off): "timing-mode",
+     * "tpt-dump" or "window>=maxInsts".
+     */
+    std::string sampleFallback;
+    /** Fraction of instructions supplied without the slow path. */
+    double coverage = 0.0;
+    /** 95% confidence half-widths for the sampled estimates (0 when
+     *  unsampled or fewer than two windows). */
+    double ci95MissesPerKi = 0.0;
+    double ci95Coverage = 0.0;
+    double ci95IcacheMissesPerKi = 0.0;
 };
 
 /**
@@ -90,6 +118,18 @@ struct SimResult
  */
 SimResult makeFastResult(const SimConfig &config,
                          const FastSimStats &stats);
+
+/**
+ * Map a sampled run into a SimResult: counter totals are the
+ * per-window mean rates scaled to the run's full forward progress
+ * (clamped so tcMisses never exceeds traces), the per-KI metrics
+ * are the window means themselves, and the ci95 fields carry the
+ * confidence half-widths. A degenerate (unsampled) SampledRun maps
+ * through makeFastResult with the fallback reason recorded.
+ * wallSeconds/mips are left for the caller to stamp.
+ */
+SimResult makeSampledResult(const SimConfig &config,
+                            const sample::SampledRun &run);
 
 /**
  * Replay a `.tpt` trace file through the fast frontend: no

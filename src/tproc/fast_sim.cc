@@ -474,8 +474,48 @@ FastSim::forkFrom(const mem::Checkpoint &checkpoint)
     }
 }
 
-void
-FastSim::finishRun()
+InstCount
+FastSim::fastForward(InstCount coreInsts)
+{
+    // Abandon the in-flight trace: the skipped instructions are a
+    // gap in the frontend's view of the stream, so the partially
+    // assembled trace can never complete — segmentation restarts
+    // fresh at the landing PC.
+    segmenter_.squash();
+    window_.clear();
+
+    const InstCount start = core_.instsExecuted();
+    const InstCount target = start + coreInsts;
+    if (!config_.blockCache) {
+        core_.skip(coreInsts);
+        return core_.instsExecuted() - start;
+    }
+
+    if (!blocks_)
+        blocks_ = std::make_unique<BlockCache>(program_,
+                                               config_.arena);
+    while (!core_.halted() && core_.instsExecuted() < target) {
+        const DecodedBlock &block = blocks_->lookup(core_.pc());
+        const InstCount room = target - core_.instsExecuted();
+        const unsigned body = static_cast<unsigned>(
+            std::min<InstCount>(block.bodyLen, room));
+        if (body)
+            core_.execBody(block.insts, body);
+        if (body < block.bodyLen)
+            break;      // budget hit mid-body
+        if (block.end == BlockEnd::Clipped ||
+            core_.instsExecuted() >= target) {
+            continue;   // chain into the next block, or done
+        }
+        // Terminators need the scalar core: the dynamic next-PC,
+        // link-register write and halt flag.
+        core_.step();
+    }
+    return core_.instsExecuted() - start;
+}
+
+const FastSimStats &
+FastSim::syncStats()
 {
     stats_.icache = icache_.stats();
     if (engine_)
@@ -483,6 +523,13 @@ FastSim::finishRun()
     if (blocks_)
         stats_.blocks = blocks_->stats();
     stats_.provenance = traceCache_.provenance();
+    return stats_;
+}
+
+void
+FastSim::finishRun()
+{
+    syncStats();
     tpre_check_run(check::enforce(check::statsConserved(stats_),
                                   "FastSim end of run"));
 }

@@ -200,6 +200,31 @@ class FastSim
     const FastSimStats &replay(DynInstSource &source,
                                InstCount maxInsts);
 
+    /**
+     * Functional fast-forward (sampling skip): advance the
+     * architectural state by up to @p coreInsts instructions —
+     * through the predecoded block cache when enabled, the scalar
+     * core otherwise, with identical resulting state — while the
+     * frontend stays frozen: nothing is fed to the fill unit, the
+     * trace cache, the predictor or the engine, and the in-flight
+     * partial trace is abandoned (the skipped stream is a gap, so
+     * segmentation restarts at the landing PC). Returns the
+     * instructions actually advanced (short on halt).
+     */
+    InstCount fastForward(InstCount coreInsts);
+
+    /**
+     * Refresh the component statistics (I-cache, engine, blocks,
+     * provenance) into stats() and return it — finishRun() without
+     * the end-of-run conservation check, safe mid-run. The sampling
+     * controller snapshots this around each measurement window.
+     */
+    const FastSimStats &syncStats();
+
+    /** Core instructions executed (absolute; restored by forks). */
+    InstCount instsExecuted() const { return core_.instsExecuted(); }
+    bool halted() const { return core_.halted(); }
+
     const FastSimStats &stats() const { return stats_; }
 
     /** Diagnostics: {|buffered ∩ dispatched|, |buffered|}. */

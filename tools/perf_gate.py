@@ -25,6 +25,19 @@ A parallel report with no "parallel" sub-entry, or one recorded at a
 different job count, is skipped with a warning (exit 0): gating 4-job
 throughput against a 8-job reference would be meaningless.
 
+A report whose top-level "sampled" flag is true (any row used
+SMARTS-style sampled simulation) mixes fast-forward and detailed
+instructions, so its MIPS is not comparable to either detailed
+reference. Such reports are gated only against the baseline entry's
+optional "sampled" sub-entry, keyed on job count like "parallel":
+
+    {"fig5_miss_rates": {"jobs": 1, "mips": 14.5,
+        "sampled": {"jobs": 1, "mips": 45.0, "mips_floor": 20.0}}}
+
+The sampled check runs before the jobs branching, so a sampled
+report never gates against a detailed baseline (and vice versa); a
+missing or job-mismatched "sampled" sub-entry skips with a warning.
+
 Exit status: 0 when the report passes (or names a new benchmark with
 no baseline entry yet, with a warning), 1 on a regression or a
 malformed report/baseline.
@@ -84,6 +97,36 @@ def _gate_against(name, mips, entry, tolerance, what):
     return (0 if mips >= floor else 1), message
 
 
+def _gate_sub_entry(name, mips, entry, key, why, jobs, tolerance,
+                    what):
+    """Gate against a jobs-keyed sub-entry ("parallel"/"sampled").
+
+    `why` describes the report property that routed it here ("ran at
+    4 jobs", "used sampled mode"). Missing sub-entry or a job-count
+    mismatch skips with a warning (exit 0); a structurally broken
+    sub-entry is an error (exit 1).
+    """
+    if not isinstance(entry, dict) or key not in entry:
+        return 0, (f"perf gate: '{name}' report {why} but the "
+                   f"baseline has no '{key}' entry; skipping "
+                   f"comparison (commit a {key} reference to enable "
+                   f"the gate)")
+    sub = entry[key]
+    if not isinstance(sub, dict) or "jobs" not in sub:
+        return 1, (f"perf gate: baseline '{key}' entry for "
+                   f"'{name}' lacks 'jobs'")
+    ref_jobs = sub["jobs"]
+    if isinstance(ref_jobs, bool) or not isinstance(ref_jobs, int) \
+            or ref_jobs <= 0:
+        return 1, (f"perf gate: baseline '{key}' entry for "
+                   f"'{name}' has invalid jobs {ref_jobs!r}")
+    if ref_jobs != jobs:
+        return 0, (f"perf gate: '{name}' report ran at {jobs} jobs "
+                   f"but the {key} baseline was recorded at "
+                   f"{ref_jobs}; skipping comparison")
+    return _gate_against(name, mips, sub, tolerance, what)
+
+
 def evaluate(report, baseline, tolerance=2.0):
     """Judge one bench report against the baseline table.
 
@@ -113,37 +156,35 @@ def evaluate(report, baseline, tolerance=2.0):
             or jobs <= 0:
         return 1, f"perf gate: report has invalid jobs {jobs!r}"
 
+    sampled = report.get("sampled", False)
+    if not isinstance(sampled, bool):
+        return 1, (f"perf gate: report has non-boolean sampled "
+                   f"{sampled!r}")
+
     if name not in baseline:
         return 0, (f"perf gate: new benchmark '{name}' has no "
                    f"baseline entry; skipping comparison (commit a "
                    f"reference MIPS to enable the gate)")
 
     entry = baseline[name]
+
+    # Sampled-mode reports mix fast-forward and detailed
+    # instructions, so their MIPS is only comparable to a sampled
+    # reference — routed before the jobs branching so a sampled
+    # report never gates against a detailed baseline.
+    if sampled:
+        return _gate_sub_entry(name, mips, entry, "sampled",
+                               "used sampled mode", jobs, tolerance,
+                               f"sampled-mode MIPS at {jobs} jobs")
+
     if jobs == 1:
         return _gate_against(name, mips, entry, tolerance, "MIPS")
 
     # Parallel report: aggregate throughput over N workers is only
     # comparable to a reference recorded at the same job count.
-    if not isinstance(entry, dict) or "parallel" not in entry:
-        return 0, (f"perf gate: '{name}' report ran at {jobs} jobs "
-                   f"but the baseline has no 'parallel' entry; "
-                   f"skipping comparison (commit a parallel "
-                   f"reference to enable the gate)")
-    par = entry["parallel"]
-    if not isinstance(par, dict) or "jobs" not in par:
-        return 1, (f"perf gate: baseline 'parallel' entry for "
-                   f"'{name}' lacks 'jobs'")
-    ref_jobs = par["jobs"]
-    if isinstance(ref_jobs, bool) or not isinstance(ref_jobs, int) \
-            or ref_jobs <= 0:
-        return 1, (f"perf gate: baseline 'parallel' entry for "
-                   f"'{name}' has invalid jobs {ref_jobs!r}")
-    if ref_jobs != jobs:
-        return 0, (f"perf gate: '{name}' report ran at {jobs} jobs "
-                   f"but the parallel baseline was recorded at "
-                   f"{ref_jobs}; skipping comparison")
-    return _gate_against(name, mips, par, tolerance,
-                         f"aggregate MIPS at {jobs} jobs")
+    return _gate_sub_entry(name, mips, entry, "parallel",
+                           f"ran at {jobs} jobs", jobs, tolerance,
+                           f"aggregate MIPS at {jobs} jobs")
 
 
 def main(argv=None):

@@ -198,6 +198,122 @@ def test_report_malformed_jobs_values_are_errors():
         assert "jobs" in msg
 
 
+# --- sampled-mode (SMARTS sampling) gating ----------------------
+
+def sampled_report(mips=45.0, jobs=1):
+    report = good_report(mips=mips)
+    report["jobs"] = jobs
+    report["sampled"] = True
+    return report
+
+
+def sampled_baseline(mips=45.0, jobs=1, floor=None, serial=10.0):
+    entry = {"mips": serial,
+             "sampled": {"jobs": jobs, "mips": mips}}
+    if floor is not None:
+        entry["sampled"]["mips_floor"] = floor
+    return {"fig5": entry}
+
+
+def test_sampled_pass_and_fail_around_floor():
+    baseline = sampled_baseline(mips=45.0)
+    code, msg = evaluate(sampled_report(mips=45.0), baseline)
+    assert code == 0, msg
+    assert "sampled-mode MIPS at 1 jobs" in msg
+    # tolerance 2x: 22.5 passes, below fails.
+    code, msg = evaluate(sampled_report(mips=22.5), baseline)
+    assert code == 0, msg
+    code, msg = evaluate(sampled_report(mips=22.0), baseline)
+    assert code == 1
+    assert "[FAIL]" in msg
+
+
+def test_sampled_report_not_gated_against_detailed_entry():
+    # Sampled MIPS far above the detailed reference must not
+    # "pass" against it either — only the sampled sub-entry counts.
+    baseline = sampled_baseline(mips=45.0, serial=10.0)
+    code, msg = evaluate(sampled_report(mips=23.0), baseline)
+    assert code == 0, msg
+    assert "sampled-mode" in msg
+
+
+def test_sampled_takes_precedence_over_parallel():
+    # A sampled report at --jobs 4 keys the sampled sub-entry, not
+    # the parallel one: the routing happens before jobs branching.
+    entry = {"mips": 10.0,
+             "parallel": {"jobs": 4, "mips": 40.0},
+             "sampled": {"jobs": 4, "mips": 90.0}}
+    code, msg = evaluate(sampled_report(mips=50.0, jobs=4),
+                         {"fig5": entry})
+    assert code == 0, msg
+    assert "sampled-mode MIPS at 4 jobs" in msg
+    code, msg = evaluate(sampled_report(mips=40.0, jobs=4),
+                         {"fig5": entry})
+    assert code == 1  # fails the 45 floor the parallel entry allows
+    assert "sampled-mode" in msg
+
+
+def test_detailed_report_ignores_sampled_entry():
+    baseline = sampled_baseline(mips=200.0, serial=10.0)
+    report = good_report(mips=10.0)
+    report["sampled"] = False
+    code, msg = evaluate(report, baseline)
+    assert code == 0, msg
+    assert "sampled" not in msg
+
+
+def test_sampled_without_baseline_entry_skips():
+    code, msg = evaluate(sampled_report(), baseline_with())
+    assert code == 0
+    assert "no 'sampled' entry" in msg
+    assert "used sampled mode" in msg
+
+
+def test_sampled_job_count_mismatch_skips():
+    baseline = sampled_baseline(jobs=4)
+    code, msg = evaluate(sampled_report(jobs=1), baseline)
+    assert code == 0
+    assert "recorded at 4" in msg
+
+
+def test_sampled_absolute_floor_binds():
+    baseline = sampled_baseline(mips=45.0, floor=30.0)
+    code, msg = evaluate(sampled_report(mips=25.0), baseline)
+    assert code == 1
+    assert "absolute mips_floor" in msg
+    code, msg = evaluate(sampled_report(mips=30.0), baseline)
+    assert code == 0, msg
+
+
+def test_sampled_malformed_entries_are_errors():
+    for samp in ({"mips": 45.0},                # no jobs
+                 {"jobs": "1", "mips": 45.0},   # non-int jobs
+                 {"jobs": 0, "mips": 45.0},     # non-positive jobs
+                 {"jobs": 1},                   # no mips
+                 {"jobs": 1, "mips": "fast"},   # non-numeric mips
+                 {"jobs": 1, "mips": 0}):       # non-positive mips
+        baseline = {"fig5": {"mips": 10.0, "sampled": samp}}
+        code, msg = evaluate(sampled_report(), baseline)
+        assert code == 1, f"sampled={samp!r} accepted: {msg}"
+
+
+def test_report_malformed_sampled_flag_is_an_error():
+    for bad in ("true", 1, 0, None):
+        report = good_report()
+        report["sampled"] = bad
+        code, msg = evaluate(report, baseline_with())
+        assert code == 1, f"sampled={bad!r} accepted: {msg}"
+        assert "sampled" in msg
+
+
+def test_report_without_sampled_flag_is_detailed():
+    report = good_report(mips=10.0)
+    assert "sampled" not in report
+    code, msg = evaluate(report, sampled_baseline(serial=10.0))
+    assert code == 0, msg
+    assert "sampled-mode" not in msg
+
+
 # --- new benchmark: warn and skip -------------------------------
 
 def test_new_benchmark_skips_with_warning():
