@@ -21,10 +21,39 @@
 
 using namespace tpre;
 
+namespace
+{
+
+/**
+ * TPRE_SUITE selects the benchmark family the grid runs over:
+ * "specint95" (default, the paper's Figure 5) or "extended" (the
+ * post-SPEC server/interp/jit families). The extended run reports
+ * under a distinct harness name so its BENCH_*.json and perf-gate
+ * baselines never collide with the golden specint95 artifacts.
+ */
+const std::vector<std::string> &
+suiteNames(const char **harnessName)
+{
+    const char *env = std::getenv("TPRE_SUITE");
+    if (env == nullptr || std::string(env) == "specint95") {
+        *harnessName = "fig5_miss_rates";
+        return specint95Names();
+    }
+    if (std::string(env) == "extended") {
+        *harnessName = "fig5_extended";
+        return extendedNames();
+    }
+    fatal("TPRE_SUITE: '%s' is not specint95 or extended", env);
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    bench::Harness harness("fig5_miss_rates", argc, argv);
+    const char *harnessName = nullptr;
+    const std::vector<std::string> &names = suiteNames(&harnessName);
+    bench::Harness harness(harnessName, argc, argv);
     if (harness.replaying())
         return harness.runReplay();
     bench::banner(
@@ -36,7 +65,6 @@ main(int argc, char **argv)
 
     Simulator sim;
     const InstCount insts = bench::runLength(2'000'000);
-    const std::vector<std::string> &names = specint95Names();
     const std::vector<SizePoint> grid = figure5Grid();
 
     std::vector<SimConfig> configs;

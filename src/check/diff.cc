@@ -262,6 +262,15 @@ diffModels(const Program &program, const DiffConfig &cfg)
             result.failure = f;
             return result;
         }
+        // The attribution decomposition must decant the provenance
+        // ledger exactly (trivially green — all-zero table — when
+        // attribution is compiled out or TPRE_ATTRIB=0).
+        if (auto f = prefixed("attrib-fast",
+                              attribReconcilesFast(
+                                  stats, sim.traceCache()))) {
+            result.failure = f;
+            return result;
+        }
         if (obs.served) {
             result.failure = prefixed("fastsim", obs.served);
             return result;
@@ -565,6 +574,12 @@ diffModels(const Program &program, const DiffConfig &cfg)
         }
         if (auto f = prefixed("processor",
                               provenanceReconcilesTiming(
+                                  stats, proc.traceCache()))) {
+            result.failure = f;
+            return result;
+        }
+        if (auto f = prefixed("attrib-timing",
+                              attribReconcilesTiming(
                                   stats, proc.traceCache()))) {
             result.failure = f;
             return result;

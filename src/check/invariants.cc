@@ -642,4 +642,165 @@ provenanceReconcilesTiming(const ProcessorStats &stats,
                                 cache.numValid());
 }
 
+namespace
+{
+
+/** One exact equality of the attribution contract. */
+Violation
+attribEq(const char *origin, const char *what,
+         std::uint64_t cellSum, std::uint64_t provValue)
+{
+    if (cellSum == provValue)
+        return std::nullopt;
+    return Msg() << "attrib-reconcile: " << origin << " " << what
+                 << ": summed cells say " << cellSum
+                 << " but the provenance ledger says " << provValue;
+}
+
+std::uint64_t
+kindSum(const std::array<std::uint64_t, kNumInstKinds> &counts)
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t v : counts)
+        n += v;
+    return n;
+}
+
+} // namespace
+
+Violation
+attribReconciles(const AttribTable &attrib,
+                 const ProvenanceTable &prov, bool active)
+{
+    if (!active) {
+        if (!attrib.allZero()) {
+            return Msg() << "attrib-reconcile: attribution is "
+                            "inactive but the table is not all "
+                            "zeros";
+        }
+        return std::nullopt;
+    }
+
+    for (std::size_t i = 0; i < kNumOrigins; ++i) {
+        const auto origin = static_cast<TraceOrigin>(i);
+        const char *name = traceOriginName(origin);
+        const AttribCell sum = attrib.originSum(origin);
+        const OriginProvenance &o = prov.of(origin);
+        const std::pair<const char *,
+                        std::pair<std::uint64_t, std::uint64_t>>
+            rows[] = {
+                {"builds", {sum.builds, o.builds}},
+                {"hits", {sum.hits, o.hits}},
+                {"firstUses", {sum.firstUses, o.firstUses}},
+                {"firstUseLatencySum",
+                 {sum.firstUseLatencySum, o.firstUseLatencySum}},
+                {"evictCapacity",
+                 {sum.evictCapacity, o.evictCapacity}},
+                {"evictRefresh", {sum.evictRefresh, o.evictRefresh}},
+                {"evictInvalidate",
+                 {sum.evictInvalidate, o.evictInvalidate}},
+                {"evictClear", {sum.evictClear, o.evictClear}},
+                {"evictedUnused",
+                 {sum.evictedUnused, o.evictedUnused}},
+            };
+        for (const auto &[what, vals] : rows) {
+            if (auto v =
+                    attribEq(name, what, vals.first, vals.second)) {
+                return v;
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < kNumOrigins; ++i) {
+        const auto origin = static_cast<TraceOrigin>(i);
+        for (std::size_t c = 0; c < kNumLoopClasses; ++c) {
+            const auto cls = static_cast<LoopClass>(c);
+            const AttribCell &cell = attrib.of(origin, cls);
+            const std::string where =
+                std::string(traceOriginName(origin)) + "/" +
+                loopClassName(cls);
+            const std::uint64_t built = kindSum(cell.instBuilt);
+            const std::uint64_t served = kindSum(cell.instServed);
+            if (built < cell.builds ||
+                built > cell.builds * kMaxTraceLen) {
+                return Msg()
+                       << "attrib-reconcile: " << where
+                       << " instBuilt sum " << built
+                       << " outside [builds, 16*builds] for builds "
+                       << cell.builds;
+            }
+            if (served < cell.hits ||
+                served > cell.hits * kMaxTraceLen) {
+                return Msg()
+                       << "attrib-reconcile: " << where
+                       << " instServed sum " << served
+                       << " outside [hits, 16*hits] for hits "
+                       << cell.hits;
+            }
+            if (cell.firstUses > cell.builds) {
+                return Msg() << "attrib-reconcile: " << where
+                             << " firstUses " << cell.firstUses
+                             << " exceed builds " << cell.builds;
+            }
+            if (cell.firstUses > cell.hits) {
+                return Msg() << "attrib-reconcile: " << where
+                             << " firstUses " << cell.firstUses
+                             << " exceed hits " << cell.hits;
+            }
+            if (cell.evictions() > cell.builds) {
+                return Msg() << "attrib-reconcile: " << where
+                             << " evictions " << cell.evictions()
+                             << " exceed builds " << cell.builds;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+Violation
+attribReconcilesFast(const FastSimStats &stats,
+                     const TraceCache &cache)
+{
+    if (auto v = attribEq("total",
+                          "stats table builds vs cache table builds",
+                          stats.attrib.originSum(TraceOrigin::FillUnit)
+                                  .builds +
+                              stats.attrib
+                                  .originSum(TraceOrigin::Precon)
+                                  .builds,
+                          cache.attrib()
+                                  .originSum(TraceOrigin::FillUnit)
+                                  .builds +
+                              cache.attrib()
+                                  .originSum(TraceOrigin::Precon)
+                                  .builds)) {
+        return v;
+    }
+    return attribReconciles(cache.attrib(), cache.provenance(),
+                            cache.attribActive());
+}
+
+Violation
+attribReconcilesTiming(const ProcessorStats &stats,
+                       const TraceCache &cache)
+{
+    if (auto v = attribEq("total",
+                          "stats table builds vs cache table builds",
+                          stats.attrib.originSum(TraceOrigin::FillUnit)
+                                  .builds +
+                              stats.attrib
+                                  .originSum(TraceOrigin::Precon)
+                                  .builds,
+                          cache.attrib()
+                                  .originSum(TraceOrigin::FillUnit)
+                                  .builds +
+                              cache.attrib()
+                                  .originSum(TraceOrigin::Precon)
+                                  .builds)) {
+        return v;
+    }
+    return attribReconciles(cache.attrib(), cache.provenance(),
+                            cache.attribActive());
+}
+
 } // namespace tpre::check

@@ -25,6 +25,7 @@
 #include "bpred/ras.hh"
 #include "func/core.hh"
 #include "precon/buffers.hh"
+#include "telemetry/attrib.hh"
 #include "trace/selector.hh"
 
 namespace tpre
@@ -190,6 +191,32 @@ Violation provenanceReconcilesFast(const FastSimStats &stats,
 /** provenanceReconciles() over a finished TraceProcessor run. */
 Violation provenanceReconcilesTiming(const ProcessorStats &stats,
                                      const TraceCache &cache);
+
+/**
+ * The reuse-attribution contract (DESIGN.md section 17): when
+ * attribution is @p active, summing an origin's loop-class cells
+ * must reproduce that origin's OriginProvenance row field by field
+ * — the decomposition loses nothing relative to the provenance
+ * ledger, and transitively (via provenanceReconciles) relative to
+ * the run's tcHits / pbHits / tcMisses totals. Per-cell structural
+ * sanity bounds the instruction-type histograms: a resident trace
+ * body holds 1..kMaxTraceLen instructions, so
+ * builds <= sum(instBuilt) <= 16*builds and
+ * hits <= sum(instServed) <= 16*hits, with the usual
+ * firstUses/evictions ordering inside each cell. When attribution
+ * is inactive (TPRE_OBS_DISABLED build or TPRE_ATTRIB=0) the table
+ * must be all zeros.
+ */
+Violation attribReconciles(const AttribTable &attrib,
+                           const ProvenanceTable &prov, bool active);
+
+/** attribReconciles() over a finished FastSim run. */
+Violation attribReconcilesFast(const FastSimStats &stats,
+                               const TraceCache &cache);
+
+/** attribReconciles() over a finished TraceProcessor run. */
+Violation attribReconcilesTiming(const ProcessorStats &stats,
+                                 const TraceCache &cache);
 
 } // namespace tpre::check
 

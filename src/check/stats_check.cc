@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <sstream>
 #include <tuple>
 #include <utility>
@@ -186,6 +187,52 @@ fastStatsEqual(const FastSimStats &live,
                 return fail(prefix + name + " diverges: live " +
                             num(vals.first) + ", replay " +
                             num(vals.second));
+        }
+    }
+
+    // Attribution is deterministic bookkeeping on the same trace
+    // stream, so it replays exactly too (all zeros when inactive).
+    for (std::size_t i = 0; i < kNumOrigins; ++i) {
+        const auto origin = static_cast<TraceOrigin>(i);
+        for (std::size_t c = 0; c < kNumLoopClasses; ++c) {
+            const auto cls = static_cast<LoopClass>(c);
+            const AttribCell &a = live.attrib.of(origin, cls);
+            const AttribCell &b = replayed.attrib.of(origin, cls);
+            const std::string prefix =
+                std::string("attrib.") + traceOriginName(origin) +
+                "." + loopClassName(cls) + ".";
+            const std::pair<const char *,
+                            std::pair<std::uint64_t, std::uint64_t>>
+                rows[] = {
+                    {"builds", {a.builds, b.builds}},
+                    {"hits", {a.hits, b.hits}},
+                    {"firstUses", {a.firstUses, b.firstUses}},
+                    {"firstUseLatencySum",
+                     {a.firstUseLatencySum, b.firstUseLatencySum}},
+                    {"evictions", {a.evictions(), b.evictions()}},
+                    {"evictedUnused",
+                     {a.evictedUnused, b.evictedUnused}},
+                    {"instBuilt[*]",
+                     {std::accumulate(a.instBuilt.begin(),
+                                      a.instBuilt.end(),
+                                      std::uint64_t{0}),
+                      std::accumulate(b.instBuilt.begin(),
+                                      b.instBuilt.end(),
+                                      std::uint64_t{0})}},
+                    {"instServed[*]",
+                     {std::accumulate(a.instServed.begin(),
+                                      a.instServed.end(),
+                                      std::uint64_t{0}),
+                      std::accumulate(b.instServed.begin(),
+                                      b.instServed.end(),
+                                      std::uint64_t{0})}},
+                };
+            for (const auto &[name, vals] : rows) {
+                if (vals.first != vals.second)
+                    return fail(prefix + name + " diverges: live " +
+                                num(vals.first) + ", replay " +
+                                num(vals.second));
+            }
         }
     }
 

@@ -22,6 +22,23 @@
  *                                 "bounds": [...],
  *                                 "buckets": [...]}, ...}
  *     },
+ *     "attrib": {    <- only when attribution is active (obs
+ *                       compiled in and TPRE_ATTRIB != 0): the
+ *                       per-row tables summed cell-wise
+ *       "fill" | "precon": {
+ *         "loop_body" | "loop_exit" | "call_chain" |
+ *         "straight_line": {
+ *           "builds": N, "hits": N, "first_uses": N,
+ *           "first_use_latency_sum": N, "evict_capacity": N,
+ *           "evict_refresh": N, "evict_invalidate": N,
+ *           "evict_clear": N, "evicted_unused": N,
+ *           "inst_built":  {"cond_branch": N, "indirect_branch": N,
+ *                           "call_return": N, "load_store": N,
+ *                           "alu": N},
+ *           "inst_served": {same keys}
+ *         }
+ *       }
+ *     },
  *     "rows": [
  *       {
  *         "benchmark": "...", "mode": "fast|timing",
@@ -45,6 +62,9 @@
  *                      "evicted_unused": N},
  *           "precon": {same keys}
  *         },
+ *         "attrib": {per-row attribution table; same shape as the
+ *                    top-level "attrib"; present only when
+ *                    attribution is active},
  *         "wall_seconds": X, "mips": X
  *       }, ...
  *     ]

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "obs/obs.hh"
+#include "telemetry/prometheus.hh"
 #include "tracefmt/replay.hh"
 #include "tracefmt/writer.hh"
 
@@ -39,6 +40,7 @@ makeFastResult(const SimConfig &config, const FastSimStats &st)
     }
     result.precon = st.precon;
     result.provenance = st.provenance;
+    result.attrib = st.attrib;
     result.blocksDecoded = st.blocks.decoded;
     result.blockHits = st.blocks.hits;
     result.blockInvalidations = st.blocks.invalidations;
@@ -92,6 +94,7 @@ makeSampledResult(const SimConfig &config,
     // (preconStatsSane) and cover the detailed portions only.
     result.precon = run.raw.precon;
     result.provenance = run.raw.provenance;
+    result.attrib = run.raw.attrib;
     result.blocksDecoded = run.raw.blocks.decoded;
     result.blockHits = run.raw.blocks.hits;
     result.blockInvalidations = run.raw.blocks.invalidations;
@@ -146,7 +149,7 @@ Simulator::workload(const std::string &benchmark,
     std::call_once(entry->once, [&] {
         TPRE_OBS_WALL_SPAN("workload", "generate");
         TPRE_OBS_COUNT("workload.generated");
-        WorkloadGenerator gen(specint95Profile(benchmark, seed));
+        WorkloadGenerator gen(namedProfile(benchmark, seed));
         entry->workload = std::make_shared<GeneratedWorkload>(
             gen.generate());
     });
@@ -366,6 +369,7 @@ Simulator::run(const SimConfig &config)
         result.precon = st.precon;
         result.prep = st.prep;
         result.provenance = st.provenance;
+        result.attrib = st.attrib;
     }
 
     result.wallSeconds =
@@ -384,6 +388,8 @@ Simulator::run(const SimConfig &config)
     if (!result.sampled && result.sampleFallback.empty())
         result.sampleFallback = sampleFallback;
     TPRE_OBS_COUNT("sim.instructions", result.instructions);
+    // Make the run's ledgers visible to a live /metrics scrape.
+    telemetry::publishRunLedgers(result.provenance, result.attrib);
     return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include "mem/checkpoint.hh"
 #include "sim/config.hh"
+#include "telemetry/attrib.hh"
 #include "telemetry/provenance.hh"
 #include "workload/generator.hh"
 
@@ -49,6 +50,13 @@ struct SimResult
      * which bypass the primary TraceCache.
      */
     ProvenanceTable provenance;
+    /**
+     * Reuse attribution: the provenance ledger decanted by loop
+     * class and instruction type (DESIGN.md section 17). All zeros
+     * when attribution is inactive (TPRE_OBS_DISABLED build or
+     * TPRE_ATTRIB=0); like provenance it stays raw in sampled runs.
+     */
+    AttribTable attrib;
     /**
      * Block-dispatch counters (Fast mode with the block cache on;
      * zero otherwise). Host-side bookkeeping like wallSeconds —

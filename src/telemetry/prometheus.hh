@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/metrics.hh"
+#include "telemetry/attrib.hh"
 
 namespace tpre::telemetry
 {
@@ -42,6 +43,37 @@ std::string renderPrometheus(const std::vector<obs::MetricRow> &rows);
 
 /** Snapshot the process registry and render it. */
 std::string renderRegistryPrometheus();
+
+/**
+ * Render @p table as labeled counter families, e.g.
+ *   tpre_provenance_builds_total{origin="fill"} 42
+ * with one eviction family split by reason
+ * (tpre_provenance_evictions_total{origin="...",reason="..."}).
+ */
+std::string renderProvenancePrometheus(const ProvenanceTable &table);
+
+/**
+ * Render @p table as origin × loop_class labeled families
+ * (tpre_attrib_builds_total{origin="...",loop_class="..."}), with
+ * the instruction-type histograms as a third label
+ * (tpre_attrib_inst_served_total{...,inst_type="..."}).
+ */
+std::string renderAttribPrometheus(const AttribTable &table);
+
+/**
+ * Fold one finished run's trace-cache ledgers into the
+ * process-wide aggregate the /metrics scrape serves. Thread-safe
+ * (parallel sweep workers publish concurrently); Simulator::run
+ * calls this once per completed run.
+ */
+void publishRunLedgers(const ProvenanceTable &prov,
+                       const AttribTable &attrib);
+
+/** Render the process-wide aggregate as labeled families. */
+std::string renderPublishedLedgers();
+
+/** Reset the process-wide aggregate (tests). */
+void resetPublishedLedgers();
 
 } // namespace tpre::telemetry
 

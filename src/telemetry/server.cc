@@ -223,11 +223,14 @@ TelemetryServer::handleConnection(int fd)
         request.substr(methodEnd + 1, pathEnd - methodEnd - 1);
 
     if (path == "/metrics") {
+        // Registry families plus the labeled provenance /
+        // attribution aggregates published by finished runs.
         writeAll(fd,
                  httpResponse("200 OK",
                               "text/plain; version=0.0.4; "
                               "charset=utf-8",
-                              renderRegistryPrometheus()));
+                              renderRegistryPrometheus() +
+                                  renderPublishedLedgers()));
     } else if (path == "/healthz") {
         writeAll(fd,
                  httpResponse("200 OK", "text/plain", "ok\n"));

@@ -523,6 +523,7 @@ FastSim::syncStats()
     if (blocks_)
         stats_.blocks = blocks_->stats();
     stats_.provenance = traceCache_.provenance();
+    stats_.attrib = traceCache_.attrib();
     return stats_;
 }
 

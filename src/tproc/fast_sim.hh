@@ -110,6 +110,12 @@ struct FastSimStats
     /** Per-origin trace-cache line provenance (copied at run end). */
     ProvenanceTable provenance;
     /**
+     * Reuse attribution (origin × loop-class cells with inst-type
+     * histograms; copied at run end). All zeros when attribution is
+     * inactive (TPRE_OBS_DISABLED build or TPRE_ATTRIB=0).
+     */
+    AttribTable attrib;
+    /**
      * Block-dispatch counters (decoded/hits/invalidations). Host-
      * side bookkeeping like wallSeconds: they describe how the
      * simulator executed, not what it simulated, so replay equality

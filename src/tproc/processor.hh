@@ -82,6 +82,8 @@ struct ProcessorStats
     Preprocessor::Stats prep;
     /** Per-origin trace-cache line provenance (copied at run end). */
     ProvenanceTable provenance;
+    /** Reuse attribution (zeros when inactive); see FastSimStats. */
+    AttribTable attrib;
 
     double
     ipc() const

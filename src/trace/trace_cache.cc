@@ -10,7 +10,10 @@ namespace tpre
 
 TraceCache::TraceCache(std::size_t numEntries, unsigned assoc,
                        mem::ArenaRef arena)
-    : assoc_(assoc), entries_(mem::ArenaAllocator<Entry>(arena))
+    : assoc_(assoc), entries_(mem::ArenaAllocator<Entry>(arena)),
+      // Parse the knob unconditionally (junk stays fatal in every
+      // build), then force the gate off when obs is compiled out.
+      attribOn_(attribDefaultEnabled() && obs::kEnabled)
 {
     tpre_assert(assoc >= 1);
     tpre_assert(numEntries >= assoc && numEntries % assoc == 0,
@@ -35,6 +38,9 @@ TraceCache::save(mem::ByteWriter &w) const
     w.put(useClock_);
     w.put(now_);
     w.put(prov_);
+    // Always serialized (zeros when attribution is inactive) so the
+    // checkpoint image is identical across obs/attrib settings.
+    w.put(attrib_);
 }
 
 void
@@ -59,10 +65,15 @@ TraceCache::restore(mem::ByteReader &r)
         e.lastUse = r.get<std::uint64_t>();
         e.hits = r.get<std::uint64_t>();
         restoreTrace(r, e.trace);
+        // The class is a pure function of the body; recompute it
+        // rather than widening the checkpoint codec.
+        if (attribOn_)
+            e.cls = classifyTrace(e.trace);
     }
     useClock_ = r.get<std::uint64_t>();
     now_ = r.get<Cycle>();
     prov_ = r.get<ProvenanceTable>();
+    attrib_ = r.get<AttribTable>();
 }
 
 std::size_t
@@ -101,15 +112,29 @@ TraceCache::recordUse(Entry &entry)
 {
     OriginProvenance &o = prov_.of(entry.trace.origin);
     ++o.hits;
-    if (entry.hits++ == 0) {
+    const bool firstUse = entry.hits++ == 0;
+    // The clocks agree by construction (the owning simulator
+    // drives both), but a zero provenance clock (unit tests)
+    // must not underflow against a stamped build cycle.
+    const Cycle latency = now_ > entry.trace.buildCycle
+                              ? now_ - entry.trace.buildCycle
+                              : 0;
+    if (firstUse) {
         ++o.firstUses;
-        // The clocks agree by construction (the owning simulator
-        // drives both), but a zero provenance clock (unit tests)
-        // must not underflow against a stamped build cycle.
-        o.firstUseLatencySum +=
-            now_ > entry.trace.buildCycle
-                ? now_ - entry.trace.buildCycle
-                : 0;
+        o.firstUseLatencySum += latency;
+    }
+    if constexpr (obs::kEnabled) {
+        if (attribOn_) {
+            AttribCell &cell =
+                attrib_.of(entry.trace.origin, entry.cls.loopClass);
+            ++cell.hits;
+            for (std::size_t k = 0; k < kNumInstKinds; ++k)
+                cell.instServed[k] += entry.cls.instCounts[k];
+            if (firstUse) {
+                ++cell.firstUses;
+                cell.firstUseLatencySum += latency;
+            }
+        }
     }
 }
 
@@ -125,6 +150,24 @@ TraceCache::recordEviction(const Entry &entry, EvictReason reason)
     }
     if (entry.hits == 0)
         ++o.evictedUnused;
+    if constexpr (obs::kEnabled) {
+        if (attribOn_) {
+            AttribCell &cell =
+                attrib_.of(entry.trace.origin, entry.cls.loopClass);
+            switch (reason) {
+              case EvictReason::Capacity:
+                ++cell.evictCapacity;
+                break;
+              case EvictReason::Refresh: ++cell.evictRefresh; break;
+              case EvictReason::Invalidate:
+                ++cell.evictInvalidate;
+                break;
+              case EvictReason::Clear: ++cell.evictClear; break;
+            }
+            if (entry.hits == 0)
+                ++cell.evictedUnused;
+        }
+    }
 }
 
 const Trace *
@@ -166,10 +209,23 @@ TraceCache::insert(const Trace &trace, bool servedAtInsert)
     tpre_assert(trace.id.valid(), "inserting invalid trace");
     TPRE_OBS_COUNT("tcache.fills");
     ++prov_.of(trace.origin).builds;
+    // Classify once per insert (the only place a body enters the
+    // cache); hits and evictions reuse the cached class.
+    TraceClass cls;
+    if constexpr (obs::kEnabled) {
+        if (attribOn_) {
+            cls = classifyTrace(trace);
+            AttribCell &cell = attrib_.of(trace.origin, cls.loopClass);
+            ++cell.builds;
+            for (std::size_t k = 0; k < kNumInstKinds; ++k)
+                cell.instBuilt[k] += cls.instCounts[k];
+        }
+    }
     // Refresh in place when the identical trace is already present.
     if (Entry *existing = findEntry(trace.id)) {
         recordEviction(*existing, EvictReason::Refresh);
         existing->trace = trace;
+        existing->cls = cls;
         existing->lastUse = tick();
         existing->hits = 0;
         if (servedAtInsert)
@@ -183,6 +239,7 @@ TraceCache::insert(const Trace &trace, bool servedAtInsert)
     }
     victim.valid = true;
     victim.trace = trace;
+    victim.cls = cls;
     victim.lastUse = tick();
     victim.hits = 0;
     if (servedAtInsert)

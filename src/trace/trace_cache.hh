@@ -13,6 +13,7 @@
 #include <cstddef>
 
 #include "mem/arena.hh"
+#include "telemetry/attrib.hh"
 #include "trace/trace.hh"
 
 namespace tpre
@@ -88,6 +89,16 @@ class TraceCache
     /** Per-origin lifetime ledger of every line this cache held. */
     const ProvenanceTable &provenance() const { return prov_; }
 
+    /**
+     * The reuse-attribution ledger (origin × loop-class cells,
+     * instruction-type histograms). All zeros unless attribution is
+     * active (obs compiled in and TPRE_ATTRIB != 0).
+     */
+    const AttribTable &attrib() const { return attrib_; }
+
+    /** Is attribution bookkeeping live in this cache? */
+    bool attribActive() const { return attribOn_; }
+
     /** Checkpoint/restore entries, LRU state and provenance. */
     void save(mem::ByteWriter &w) const;
     void restore(mem::ByteReader &r);
@@ -100,6 +111,13 @@ class TraceCache
         /** Fetches this line has served since its insert. */
         std::uint64_t hits = 0;
         Trace trace;
+        /**
+         * Attribution class, computed once at insert (the body is
+         * immutable while resident). Only meaningful when the cache
+         * has attribution active; recomputed from the trace on
+         * checkpoint restore rather than serialized.
+         */
+        TraceClass cls;
     };
 
     std::size_t setOf(const TraceId &id) const;
@@ -125,6 +143,13 @@ class TraceCache
     /** Provenance clock (simulated cycles); see advanceTo(). */
     Cycle now_ = 0;
     ProvenanceTable prov_;
+    /**
+     * Attribution bookkeeping gate, sampled once at construction:
+     * false in TPRE_OBS_DISABLED builds (the accumulation sites
+     * compile down to the flag test alone) and under TPRE_ATTRIB=0.
+     */
+    bool attribOn_;
+    AttribTable attrib_;
 };
 
 } // namespace tpre

@@ -190,4 +190,112 @@ specint95Suite(std::uint64_t seed)
     return suite;
 }
 
+const std::vector<std::string> &
+extendedNames()
+{
+    static const std::vector<std::string> names = {
+        "server", "interp", "jit",
+    };
+    return names;
+}
+
+BenchmarkProfile
+extendedProfile(const std::string &name, std::uint64_t seed)
+{
+    BenchmarkProfile p = baseProfile(name, seed);
+
+    if (name == "server") {
+        // Request loop over deep call chains: lots of call/return
+        // edges and heavy dispatch-table indirection, so most
+        // traces classify as call-chain and the indirect-branch
+        // histogram column dominates. Working set is gcc-sized but
+        // the phase schedule is calmer (a server's steady state).
+        p.numFuncs = 280;
+        p.meanFuncInsts = 70;
+        p.maxFuncInsts = 240;
+        p.calleeWindow = 24;
+        p.loopWeight = 0.14;
+        p.ifWeight = 0.38;
+        p.callWeight = 0.34;
+        p.indirectCallFrac = 0.45;
+        p.biasedBranchFrac = 0.72;
+        p.biasBits = 5;
+        p.phaseCount = 4;
+        p.phasePool = 48;
+        p.phaseShift = 10;
+        p.callsPerPhase = 250;
+        p.dispatchDirect = 2;
+    } else if (name == "interp") {
+        // Bytecode-dispatch loop: short handler bodies reached
+        // almost entirely through the indirect function table
+        // (dispatchDirect = 0 routes *every* root dispatch through
+        // jalr), with weakly biased branches — the known worst case
+        // for next-trace prediction and for preconstruction's
+        // single-path assumption.
+        p.numFuncs = 96;
+        p.minFuncInsts = 12;
+        p.meanFuncInsts = 30;
+        p.maxFuncInsts = 90;
+        p.calleeWindow = 4;
+        p.loopWeight = 0.22;
+        p.ifWeight = 0.50;
+        p.callWeight = 0.08;
+        p.indirectCallFrac = 0.60;
+        p.biasedBranchFrac = 0.40;
+        p.biasBits = 2;
+        p.phaseCount = 2;
+        p.phasePool = 64;
+        p.phaseShift = 16;
+        p.callsPerPhase = 400;
+        p.dispatchDirect = 0;
+    } else if (name == "jit") {
+        // Phase-migrating working set: a large function table swept
+        // by a big phaseShift, as if a JIT keeps emitting fresh code
+        // regions. Each phase change invalidates most of the trace
+        // cache's useful content, stressing preconstruction
+        // start-point detection and eviction accounting (the
+        // evicted-unused column of the attribution table).
+        p.numFuncs = 300;
+        p.meanFuncInsts = 65;
+        p.maxFuncInsts = 200;
+        p.calleeWindow = 10;
+        p.loopWeight = 0.30;
+        p.ifWeight = 0.40;
+        p.callWeight = 0.14;
+        p.indirectCallFrac = 0.12;
+        p.biasedBranchFrac = 0.85;
+        p.biasBits = 6;
+        p.memOpFrac = 0.30;
+        p.phaseCount = 16;
+        p.phasePool = 28;
+        p.phaseShift = 24;
+        p.callsPerPhase = 130;
+    } else {
+        fatal("unknown extended profile '%s'", name.c_str());
+    }
+
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+extendedSuite(std::uint64_t seed)
+{
+    std::vector<BenchmarkProfile> suite;
+    for (const std::string &name : extendedNames())
+        suite.push_back(extendedProfile(name, seed));
+    return suite;
+}
+
+BenchmarkProfile
+namedProfile(const std::string &name, std::uint64_t seed)
+{
+    for (const std::string &n : specint95Names())
+        if (n == name)
+            return specint95Profile(name, seed);
+    for (const std::string &n : extendedNames())
+        if (n == name)
+            return extendedProfile(name, seed);
+    fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
 } // namespace tpre

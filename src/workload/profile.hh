@@ -81,6 +81,38 @@ BenchmarkProfile specint95Profile(const std::string &name,
 /** Names in canonical (paper) order. */
 const std::vector<std::string> &specint95Names();
 
+/**
+ * The post-SPEC extended families (ROADMAP item 5): workloads the
+ * paper never measured, calibrated to stress trace reuse in ways
+ * the SPECint95-alikes do not —
+ *   server: request loop over deep call chains with dispatch-table
+ *           indirection (high indirectCallFrac, deep calleeWindow),
+ *   interp: a bytecode-dispatch loop — short handler bodies reached
+ *           almost entirely through indirect dispatch, the known
+ *           worst case for next-trace prediction,
+ *   jit:    a phase-migrating working set (large phaseShift over a
+ *           large function table) that stresses preconstruction
+ *           start-point detection and buffer eviction.
+ * Kept out of specint95Names() so the golden fig5 grid and every
+ * suite-driven artifact stay untouched.
+ */
+const std::vector<std::string> &extendedNames();
+
+/** One extended-family profile by name; fatal if unknown. */
+BenchmarkProfile extendedProfile(const std::string &name,
+                                 std::uint64_t seed = 7);
+
+/** The extended suite (server, interp, jit). */
+std::vector<BenchmarkProfile> extendedSuite(std::uint64_t seed = 7);
+
+/**
+ * Any profile this repository knows by name: the SPECint95-alikes
+ * first, then the extended families; fatal if neither suite knows
+ * @p name. The simulator's benchmark-name resolution uses this.
+ */
+BenchmarkProfile namedProfile(const std::string &name,
+                              std::uint64_t seed = 7);
+
 } // namespace tpre
 
 #endif // TPRE_WORKLOAD_PROFILE_HH

@@ -44,13 +44,75 @@ TEST(ProfileTest, SeedsDecorrelatePerBenchmark)
     EXPECT_NE(a.seed, b.seed);
 }
 
+TEST(ProfileTest, ExtendedSuiteStaysOutOfSpecint95)
+{
+    // The golden fig5 grid iterates specint95Names(); the extended
+    // families must never leak into it.
+    EXPECT_EQ(extendedNames().size(), 3u);
+    EXPECT_EQ(specint95Names().size(), 8u);
+    for (const std::string &name : extendedNames()) {
+        for (const std::string &spec : specint95Names())
+            EXPECT_NE(name, spec);
+    }
+    auto suite = extendedSuite();
+    ASSERT_EQ(suite.size(), 3u);
+    EXPECT_EQ(suite[0].name, "server");
+    EXPECT_EQ(suite[1].name, "interp");
+    EXPECT_EQ(suite[2].name, "jit");
+}
+
+TEST(ProfileTest, NamedProfileResolvesBothSuites)
+{
+    EXPECT_EQ(namedProfile("gcc").numFuncs,
+              specint95Profile("gcc").numFuncs);
+    EXPECT_EQ(namedProfile("interp").numFuncs,
+              extendedProfile("interp").numFuncs);
+}
+
+TEST(ProfileTest, NamedProfileUnknownIsFatal)
+{
+    EXPECT_EXIT(namedProfile("doom"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(ProfileTest, ExtendedUnknownIsFatal)
+{
+    // extendedProfile itself keeps the same strictness as
+    // specint95Profile: a SPECint95 name is not an extended name.
+    EXPECT_EXIT(extendedProfile("gcc"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(ProfileTest, ExtendedCalibrationIntents)
+{
+    // The three families must keep the shapes that make them
+    // interesting: server is call/indirect heavy, interp has short
+    // handler bodies with weak branch bias and a fully indirect
+    // dispatcher, jit migrates its working set across many phases.
+    const auto server = extendedProfile("server");
+    EXPECT_GT(server.indirectCallFrac, 0.30);
+    EXPECT_GT(server.callWeight, 0.25);
+    EXPECT_GT(server.calleeWindow, 16u);
+
+    const auto interp = extendedProfile("interp");
+    EXPECT_LT(interp.meanFuncInsts, 40u);
+    EXPECT_LT(interp.biasedBranchFrac, 0.5);
+    EXPECT_EQ(interp.dispatchDirect, 0u);
+    EXPECT_GT(interp.indirectCallFrac, 0.5);
+
+    const auto jit = extendedProfile("jit");
+    EXPECT_GE(jit.phaseCount, 12u);
+    EXPECT_GE(jit.phaseShift, 20u);
+    EXPECT_GT(jit.numFuncs, 200u);
+}
+
 class GenerateAll : public ::testing::TestWithParam<const char *>
 {
 };
 
 TEST_P(GenerateAll, ProgramRunsWithoutFaults)
 {
-    WorkloadGenerator gen(specint95Profile(GetParam()));
+    WorkloadGenerator gen(namedProfile(GetParam()));
     auto wl = gen.generate();
     EXPECT_GT(wl.totalInsts, 500u);
     EXPECT_EQ(wl.funcAddrs.size(),
@@ -71,8 +133,8 @@ TEST_P(GenerateAll, ByteIdenticalAcrossInstances)
     // from two independent generator instances; every simulator
     // result in the paper depends on this reproducibility.
     for (std::uint64_t seed : {7ULL, 99ULL}) {
-        WorkloadGenerator a(specint95Profile(GetParam(), seed));
-        WorkloadGenerator b(specint95Profile(GetParam(), seed));
+        WorkloadGenerator a(namedProfile(GetParam(), seed));
+        WorkloadGenerator b(namedProfile(GetParam(), seed));
         auto wa = a.generate();
         auto wb = b.generate();
         ASSERT_EQ(wa.program.base(), wb.program.base());
@@ -91,6 +153,13 @@ INSTANTIATE_TEST_SUITE_P(Suite, GenerateAll,
                          ::testing::Values("compress", "gcc", "go",
                                            "ijpeg", "li", "m88ksim",
                                            "perl", "vortex"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+INSTANTIATE_TEST_SUITE_P(Extended, GenerateAll,
+                         ::testing::Values("server", "interp",
+                                           "jit"),
                          [](const auto &info) {
                              return std::string(info.param);
                          });

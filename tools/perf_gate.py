@@ -127,6 +127,29 @@ def _gate_sub_entry(name, mips, entry, key, why, jobs, tolerance,
     return _gate_against(name, mips, sub, tolerance, what)
 
 
+def _attrib_note(report):
+    """Check the optional attribution section of a report.
+
+    "attrib" is absent by design when the run was made with
+    TPRE_ATTRIB=0 or an observability-disabled build, so absence is
+    a warning note appended to the verdict (exit stays 0) — the
+    throughput gate itself still runs. A present-but-malformed
+    section, however, means the report writer broke contract:
+    that is an error.
+
+    Returns (error_message | None, note | "").
+    """
+    if "attrib" not in report:
+        return None, ("\nperf gate: note: report has no 'attrib' "
+                      "section (TPRE_ATTRIB=0 or an "
+                      "observability-disabled build); attribution "
+                      "dashboards will be empty for this run")
+    if not isinstance(report["attrib"], dict):
+        return ("perf gate: report 'attrib' section is not a JSON "
+                "object"), ""
+    return None, ""
+
+
 def evaluate(report, baseline, tolerance=2.0):
     """Judge one bench report against the baseline table.
 
@@ -143,6 +166,10 @@ def evaluate(report, baseline, tolerance=2.0):
         if field not in report:
             return 1, (f"perf gate: report lacks required field "
                        f"'{field}'")
+
+    attrib_error, attrib_note = _attrib_note(report)
+    if attrib_error is not None:
+        return 1, attrib_error
 
     name = report["bench"]
     mips = report["mips"]
@@ -164,7 +191,8 @@ def evaluate(report, baseline, tolerance=2.0):
     if name not in baseline:
         return 0, (f"perf gate: new benchmark '{name}' has no "
                    f"baseline entry; skipping comparison (commit a "
-                   f"reference MIPS to enable the gate)")
+                   f"reference MIPS to enable the gate)"
+                   + attrib_note)
 
     entry = baseline[name]
 
@@ -173,18 +201,20 @@ def evaluate(report, baseline, tolerance=2.0):
     # reference — routed before the jobs branching so a sampled
     # report never gates against a detailed baseline.
     if sampled:
-        return _gate_sub_entry(name, mips, entry, "sampled",
-                               "used sampled mode", jobs, tolerance,
-                               f"sampled-mode MIPS at {jobs} jobs")
-
-    if jobs == 1:
-        return _gate_against(name, mips, entry, tolerance, "MIPS")
-
-    # Parallel report: aggregate throughput over N workers is only
-    # comparable to a reference recorded at the same job count.
-    return _gate_sub_entry(name, mips, entry, "parallel",
-                           f"ran at {jobs} jobs", jobs, tolerance,
-                           f"aggregate MIPS at {jobs} jobs")
+        code, message = _gate_sub_entry(
+            name, mips, entry, "sampled", "used sampled mode", jobs,
+            tolerance, f"sampled-mode MIPS at {jobs} jobs")
+    elif jobs == 1:
+        code, message = _gate_against(name, mips, entry, tolerance,
+                                      "MIPS")
+    else:
+        # Parallel report: aggregate throughput over N workers is
+        # only comparable to a reference recorded at the same job
+        # count.
+        code, message = _gate_sub_entry(
+            name, mips, entry, "parallel", f"ran at {jobs} jobs",
+            jobs, tolerance, f"aggregate MIPS at {jobs} jobs")
+    return code, message + attrib_note
 
 
 def main(argv=None):

@@ -314,6 +314,50 @@ def test_report_without_sampled_flag_is_detailed():
     assert "sampled-mode" not in msg
 
 
+# --- attribution section: note when absent, error when broken ---
+
+def test_missing_attrib_notes_but_passes():
+    code, msg = evaluate(good_report(mips=10.0), baseline_with())
+    assert code == 0, msg
+    assert "no 'attrib' section" in msg
+    assert "[PASS]" in msg  # the throughput gate itself still ran
+
+
+def test_missing_attrib_does_not_mask_a_regression():
+    code, msg = evaluate(good_report(mips=1.0), baseline_with())
+    assert code == 1
+    assert "[FAIL]" in msg
+    assert "no 'attrib' section" in msg
+
+
+def test_present_attrib_silences_the_note():
+    report = good_report(mips=10.0)
+    report["attrib"] = {"fill": {}, "precon": {}}
+    code, msg = evaluate(report, baseline_with())
+    assert code == 0, msg
+    assert "attrib" not in msg
+
+
+def test_malformed_attrib_is_an_error():
+    for bad in ([], "on", 1, True, None):
+        report = good_report(mips=10.0)
+        report["attrib"] = bad
+        code, msg = evaluate(report, baseline_with())
+        assert code == 1, f"attrib={bad!r} accepted: {msg}"
+        assert "attrib" in msg
+
+
+def test_missing_attrib_notes_on_skip_paths():
+    # The note rides along even when the MIPS comparison is skipped
+    # (new benchmark, missing parallel sub-entry).
+    code, msg = evaluate(good_report(name="fig9"), baseline_with())
+    assert code == 0
+    assert "no 'attrib' section" in msg
+    code, msg = evaluate(parallel_report(), baseline_with())
+    assert code == 0
+    assert "no 'attrib' section" in msg
+
+
 # --- new benchmark: warn and skip -------------------------------
 
 def test_new_benchmark_skips_with_warning():
